@@ -1,0 +1,83 @@
+"""Ablations of ConsensusBatcher's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three design choices whose effect is worth quantifying on
+the simulator even though the paper only motivates them qualitatively:
+
+* the DMA packet-alignment optimisation (Section IV-B.2);
+* the compressed O(N) NACK encoding vs. the naive O(N^2) one (Section IV-C.1);
+* the radio class (LoRa vs. a Wi-Fi-like PHY), which controls how much of the
+  latency is airtime vs. computation.
+"""
+
+import pytest
+
+from repro.core.dma import DmaConfig
+from repro.core.nack import CompressedNack, PerInstanceNack
+from repro.net.radio import LORA_SF7_125KHZ, WIFI_LIKE
+from repro.testbed.harness import run_broadcast_experiment, run_consensus
+from repro.testbed.scenarios import Scenario
+
+from figrecorder import record_row
+
+FIGURE = "Ablations (design choices)"
+HEADERS = ["ablation", "configuration", "metric", "value"]
+
+
+def test_ablation_dma_alignment(benchmark):
+    def run():
+        aligned = run_broadcast_experiment(
+            "rbc", parallelism=4, batched=True, seed=500,
+            scenario=Scenario.single_hop(4))
+        unaligned = run_broadcast_experiment(
+            "rbc", parallelism=4, batched=True, seed=500,
+            scenario=Scenario.single_hop(4).replace(
+                dma=DmaConfig(alignment_enabled=False, idle_flush_s=0.08)))
+        return aligned, unaligned
+
+    aligned, unaligned = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert unaligned.latency_s > aligned.latency_s
+    record_row(FIGURE, HEADERS,
+               ["DMA alignment", "enabled (paper)", "RBC x4 latency s",
+                round(aligned.latency_s, 2)],
+               title="Ablations of ConsensusBatcher design choices")
+    record_row(FIGURE, HEADERS,
+               ["DMA alignment", "disabled", "RBC x4 latency s",
+                round(unaligned.latency_s, 2)])
+
+
+@pytest.mark.parametrize("num_nodes", [4, 10, 16])
+def test_ablation_nack_compression(benchmark, num_nodes):
+    def sizes():
+        naive = PerInstanceNack(num_instances=num_nodes, num_nodes=num_nodes)
+        compressed = CompressedNack(num_instances=num_nodes)
+        return naive.size_bits(), compressed.size_bits()
+
+    naive_bits, compressed_bits = benchmark(sizes)
+    assert compressed_bits < naive_bits
+    record_row(FIGURE, HEADERS,
+               ["NACK encoding", f"N={num_nodes} naive O(N^2)", "bits", naive_bits])
+    record_row(FIGURE, HEADERS,
+               ["NACK encoding", f"N={num_nodes} compressed O(N)", "bits",
+                compressed_bits])
+
+
+def test_ablation_radio_class(benchmark):
+    def run():
+        lora = run_consensus("beat",
+                             Scenario.single_hop(4).with_radio(LORA_SF7_125KHZ),
+                             batch_size=4, transaction_bytes=48, batched=True,
+                             seed=501)
+        wifi = run_consensus("beat",
+                             Scenario.single_hop(4).with_radio(WIFI_LIKE),
+                             batch_size=4, transaction_bytes=48, batched=True,
+                             seed=501)
+        return lora, wifi
+
+    lora, wifi = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert wifi.latency_s < lora.latency_s
+    record_row(FIGURE, HEADERS,
+               ["radio class", "LoRa SF7/125kHz (paper-like)", "BEAT latency s",
+                round(lora.latency_s, 2)])
+    record_row(FIGURE, HEADERS,
+               ["radio class", "Wi-Fi-like 1 Mbit/s", "BEAT latency s",
+                round(wifi.latency_s, 2)])

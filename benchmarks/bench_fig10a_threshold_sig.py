@@ -1,0 +1,54 @@
+"""Fig. 10a -- latency of threshold-signature operations across six curves.
+
+The paper measures MIRACL threshold-signature primitives (dealer, sign,
+verifyshare, combineshare, verifysignature) on an STM32F767 for BN158, BN254,
+BLS12383, BLS12381, FP256BN and FP512BN.  This benchmark reports the modelled
+per-operation latencies (the values fed into the consensus simulation) and
+times the reproduction's actual Schnorr-group substitute operations.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.curves import THRESHOLD_CURVES, get_threshold_curve
+from repro.crypto.threshold_sig import deal_threshold_sig
+
+from figrecorder import record_row
+
+FIGURE = "Fig. 10a (threshold signature op latency)"
+HEADERS = ["curve", "dealer ms", "sign ms", "verifyshare ms", "combineshare ms",
+           "verifysignature ms", "measured sign+combine us"]
+
+
+@pytest.mark.parametrize("curve", sorted(THRESHOLD_CURVES))
+def test_fig10a_threshold_signature_ops(benchmark, curve):
+    profile = get_threshold_curve(curve)
+    rng = random.Random(1)
+    schemes = deal_threshold_sig(4, 3, rng)
+    message = f"fig10a|{curve}".encode()
+
+    def sign_and_combine():
+        shares = [scheme.sign_share(message, rng) for scheme in schemes[:3]]
+        return schemes[3].combine(message, shares)
+
+    signature = benchmark(sign_and_combine)
+    assert schemes[0].verify_signature(message, signature)
+
+    latencies = profile.sig_op_latencies()
+    measured_us = benchmark.stats.stats.mean * 1e6
+    record_row(FIGURE, HEADERS,
+               [curve, latencies["dealer"], latencies["sign"],
+                latencies["verifyshare"], latencies["combineshare"],
+                latencies["verifysignature"], round(measured_us, 1)],
+               title="Fig. 10a: modelled MIRACL op latency per curve (ms) and "
+                     "measured latency of the simulated substitute (us)")
+
+
+def test_fig10a_bn158_is_lightest(benchmark):
+    def lightest():
+        profiles = [get_threshold_curve(name) for name in THRESHOLD_CURVES]
+        return min(profiles, key=lambda p: p.sign_share_ms)
+
+    result = benchmark(lightest)
+    assert result.name == "BN158"

@@ -1,0 +1,44 @@
+"""Fig. 10c -- sizes of public-key digital signatures and threshold signatures.
+
+The paper reports 40-100 byte signatures across five micro-ecc curves and six
+MIRACL curves, with secp160r1 (40 B) and BN158 (21 B) the smallest -- the
+combination selected for the consensus experiments because smaller signatures
+leave more packet space for batching.
+"""
+
+import pytest
+
+from repro.crypto.curves import EC_CURVES, THRESHOLD_CURVES, get_ec_curve, get_threshold_curve
+
+from figrecorder import record_row
+
+FIGURE = "Fig. 10c (signature sizes)"
+HEADERS = ["curve", "kind", "signature bytes"]
+
+
+@pytest.mark.parametrize("curve", sorted(EC_CURVES))
+def test_fig10c_digital_signature_sizes(benchmark, curve):
+    profile = benchmark(get_ec_curve, curve)
+    assert profile.signature_bytes >= 40
+    record_row(FIGURE, HEADERS,
+               [curve, "public-key digital signature", profile.signature_bytes],
+               title="Fig. 10c: signature sizes per curve")
+
+
+@pytest.mark.parametrize("curve", sorted(THRESHOLD_CURVES))
+def test_fig10c_threshold_signature_sizes(benchmark, curve):
+    profile = benchmark(get_threshold_curve, curve)
+    assert profile.threshold_sig_bytes >= 21
+    record_row(FIGURE, HEADERS,
+               [curve, "threshold signature", profile.threshold_sig_bytes])
+
+
+def test_fig10c_smallest_choices_match_paper(benchmark):
+    def smallest():
+        ec = min(EC_CURVES.values(), key=lambda p: p.signature_bytes)
+        th = min(THRESHOLD_CURVES.values(), key=lambda p: p.threshold_sig_bytes)
+        return ec, th
+
+    ec, th = benchmark(smallest)
+    assert (ec.name, ec.signature_bytes) == ("secp160r1", 40)
+    assert (th.name, th.threshold_sig_bytes) == ("BN158", 21)

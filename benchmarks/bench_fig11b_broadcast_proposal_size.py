@@ -1,0 +1,54 @@
+"""Fig. 11b -- broadcast-protocol latency vs. proposal size.
+
+The paper sweeps the proposal size (expressed as the number of packets it
+occupies) for RBC, PRBC and CBC and finds that latency grows with proposal
+size while the protocol ordering (RBC fastest, threshold-signature protocols
+slower) is preserved.
+"""
+
+import pytest
+
+from repro.testbed.harness import run_broadcast_experiment
+
+from figrecorder import record_row
+
+FIGURE = "Fig. 11b (broadcast latency vs proposal size)"
+HEADERS = ["component", "proposal packets", "latency s", "bytes on air"]
+
+COMPONENTS = ["rbc", "prbc", "cbc"]
+SIZES = [1, 2, 3, 4]
+
+_latencies: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("component", COMPONENTS)
+@pytest.mark.parametrize("packets", SIZES)
+def test_fig11b_proposal_size(benchmark, component, packets):
+    def run():
+        return run_broadcast_experiment(component, parallelism=2,
+                                        proposal_packets=packets, batched=True,
+                                        seed=310)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.completed
+    _latencies[(component, packets)] = result.latency_s
+    record_row(FIGURE, HEADERS,
+               [component, packets, round(result.latency_s, 2), result.bytes_sent],
+               title="Fig. 11b: batched broadcast protocols vs proposal size "
+                     "(2 parallel instances, single-hop N=4)")
+
+
+def test_fig11b_latency_grows_with_proposal_size(benchmark):
+    def check():
+        for component in COMPONENTS:
+            for packets in (1, 4):
+                if (component, packets) not in _latencies:
+                    result = run_broadcast_experiment(
+                        component, parallelism=2, proposal_packets=packets,
+                        batched=True, seed=310)
+                    _latencies[(component, packets)] = result.latency_s
+        return dict(_latencies)
+
+    latencies = benchmark.pedantic(check, rounds=1, iterations=1)
+    for component in COMPONENTS:
+        assert latencies[(component, 4)] > latencies[(component, 1)]

@@ -1,0 +1,40 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper's
+evaluation section.  Benchmarks record paper-style rows through
+``figrecorder.record_row``; at the end of the session every reproduced table
+is printed to the terminal (so it lands in ``bench_output.txt``) and written
+to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(__file__)
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import figrecorder  # noqa: E402  (needs the sys.path insertion above)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every reproduced table and persist them under benchmarks/results/."""
+    if not figrecorder.RESULTS:
+        return
+    os.makedirs(figrecorder.RESULTS_DIR, exist_ok=True)
+    terminalreporter.write_sep("=", "paper figure / table reproduction")
+    for figure, entry in figrecorder.RESULTS.items():
+        text = figrecorder.render(entry)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+        safe_name = figure.replace(" ", "_").replace("/", "-").lower()
+        with open(os.path.join(figrecorder.RESULTS_DIR, f"{safe_name}.txt"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(tables also written to {os.path.relpath(figrecorder.RESULTS_DIR)}/)")

@@ -1,0 +1,34 @@
+"""Accumulator for paper-style reproduction tables produced by the benchmarks.
+
+Benchmarks call :func:`record_row`; the conftest terminal-summary hook renders
+every accumulated table at the end of the session and writes them to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+RESULTS: "OrderedDict[str, dict]" = OrderedDict()
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_row(figure: str, headers: list[str], row: list, title: str = "") -> None:
+    """Add one row to the reproduction table of ``figure``."""
+    entry = RESULTS.setdefault(figure, {"headers": headers, "rows": [],
+                                        "title": title or figure})
+    entry["rows"].append(row)
+
+
+def get_rows(figure: str) -> list:
+    """Rows recorded so far for a figure (used by dependent benchmarks)."""
+    entry = RESULTS.get(figure)
+    return list(entry["rows"]) if entry else []
+
+
+def render(entry: dict) -> str:
+    """Render one accumulated table as text."""
+    from repro.testbed.reporting import format_table
+
+    return format_table(entry["headers"], entry["rows"], title=entry["title"])

@@ -1,0 +1,13 @@
+"""Pytest root conftest.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(useful in offline environments where ``pip install -e .`` cannot build an
+editable wheel).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,234 @@
+"""Shared-coin asynchronous Byzantine agreement -- the paper's ABA-SC.
+
+This is the round-based binary agreement used by HoneyBadgerBFT (Mostefaoui
+et al.'s protocol instantiated with a Cachin-Kursawe-Shoup threshold common
+coin), matching Fig. 1d: each round has a BVAL phase, an AUX phase and a
+SHARE (coin) phase, all N-to-N, for O(N^2) messages per round.
+
+Round ``r`` with estimate ``est``:
+
+1. broadcast ``BVAL(r, est)``;
+2. on ``f + 1`` BVALs for a value ``b`` not yet relayed, relay ``BVAL(r, b)``;
+   on ``2f + 1`` BVALs, add ``b`` to ``bin_values[r]``;
+3. when ``bin_values[r]`` first becomes non-empty, broadcast ``AUX(r, w)``
+   for some ``w`` in it;
+4. once ``N - f`` AUX messages carry values inside ``bin_values[r]``, release
+   a coin share and reveal the round coin ``s``;
+5. if the AUX value set is a single value ``b``: adopt ``b`` and decide if
+   ``b == s``; otherwise adopt ``s``; proceed to round ``r + 1``.
+
+All parallel instances of the same protocol scope share the round coin
+through a single :class:`~repro.components.common_coin.CommonCoinManager`
+(the paper's Technical Challenge III resolution for wireless networks);
+serial instances (Dumbo) use per-instance managers so coins are never
+revealed prematurely.
+
+The DECIDED-notice termination helper mirrors the one in
+:class:`~repro.components.aba_bracha.BrachaAba`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.components.base import Component, ComponentContext, OutputCallback
+from repro.components.common_coin import CommonCoinManager
+from repro.core.packet import ComponentMessage
+
+
+@dataclass
+class _RoundState:
+    """Per-round BVAL/AUX bookkeeping."""
+
+    bval_sent: set[int] = field(default_factory=set)
+    bval_received: dict[int, set[int]] = field(default_factory=dict)
+    bin_values: set[int] = field(default_factory=set)
+    aux_sent: bool = False
+    aux_received: dict[int, int] = field(default_factory=dict)
+    coin_requested: bool = False
+    coin_value: Optional[int] = None
+    finished: bool = False
+
+
+class CachinAba(Component):
+    """One shared-coin ABA instance deciding a single bit."""
+
+    kind = "aba_sc"
+    coin_flavor = "tsig"
+
+    def __init__(self, ctx: ComponentContext, instance: int,
+                 coin: CommonCoinManager, tag: Any = None,
+                 on_output: Optional[OutputCallback] = None,
+                 max_rounds: int = 64) -> None:
+        super().__init__(ctx, instance, tag, on_output)
+        self.coin = coin
+        self.max_rounds = max_rounds
+        self.estimate: Optional[int] = None
+        self.round = 0
+        self.decided_value: Optional[int] = None
+        self.rounds_executed = 0
+        self._rounds: dict[int, _RoundState] = {}
+        self._decided_notices: dict[int, set[int]] = {}
+        self._decided_sent = False
+        self._started = False
+        self._halted = False
+
+    # ------------------------------------------------------------------ start
+    def start(self, value: int) -> None:
+        """Provide this node's binary input and start round 0."""
+        if self._started:
+            return
+        if value not in (0, 1):
+            raise ValueError(f"ABA input must be 0 or 1, got {value!r}")
+        self._started = True
+        self.estimate = value
+        self._broadcast_bval(self.round, value)
+
+    # ----------------------------------------------------------------- handle
+    def handle(self, message: ComponentMessage) -> None:
+        """Process BVAL / AUX / DECIDED messages."""
+        if message.phase == "bval":
+            self._on_bval(message)
+        elif message.phase == "aux":
+            self._on_aux(message)
+        elif message.phase == "decided":
+            self._on_decided(message)
+
+    # ------------------------------------------------------------------ BVAL
+    def _state(self, round_number: int) -> _RoundState:
+        return self._rounds.setdefault(round_number, _RoundState())
+
+    def _broadcast_bval(self, round_number: int, value: int) -> None:
+        state = self._state(round_number)
+        if value in state.bval_sent:
+            return
+        state.bval_sent.add(value)
+        state.bval_received.setdefault(value, set()).add(self.ctx.node_id)
+        self.send("bval", {"value": value}, round_number=round_number,
+                  payload_bytes=1, slot=value)
+
+    def _on_bval(self, message: ComponentMessage) -> None:
+        value = message.payload.get("value")
+        if value not in (0, 1):
+            return
+        round_number = message.round
+        state = self._state(round_number)
+        state.bval_received.setdefault(value, set()).add(message.sender)
+        count = len(state.bval_received[value])
+        if count >= self.ctx.small_quorum and value not in state.bval_sent:
+            self._broadcast_bval(round_number, value)
+        if count >= self.ctx.quorum and value not in state.bin_values:
+            state.bin_values.add(value)
+            self._maybe_send_aux(round_number, state)
+        self._maybe_reveal_coin(round_number, state)
+
+    # ------------------------------------------------------------------- AUX
+    def _maybe_send_aux(self, round_number: int, state: _RoundState) -> None:
+        if state.aux_sent or not state.bin_values:
+            return
+        state.aux_sent = True
+        value = next(iter(sorted(state.bin_values)))
+        state.aux_received[self.ctx.node_id] = value
+        self.send("aux", {"value": value}, round_number=round_number,
+                  payload_bytes=1)
+        self._maybe_reveal_coin(round_number, state)
+
+    def _on_aux(self, message: ComponentMessage) -> None:
+        value = message.payload.get("value")
+        if value not in (0, 1):
+            return
+        round_number = message.round
+        state = self._state(round_number)
+        state.aux_received.setdefault(message.sender, value)
+        self._maybe_reveal_coin(round_number, state)
+
+    # ------------------------------------------------------------------ coin
+    def _aux_support(self, state: _RoundState) -> tuple[int, set[int]]:
+        """Count AUX senders whose value is in bin_values; return their values."""
+        supporters = {sender: value for sender, value in state.aux_received.items()
+                      if value in state.bin_values}
+        return len(supporters), set(supporters.values())
+
+    def _maybe_reveal_coin(self, round_number: int, state: _RoundState) -> None:
+        if self._halted or round_number != self.round or state.finished:
+            return
+        if state.coin_requested:
+            return
+        support, _values = self._aux_support(state)
+        if support < self.ctx.num_nodes - self.ctx.faults:
+            return
+        state.coin_requested = True
+        self.coin.request(self._coin_round_id(round_number),
+                          lambda _rid, coin: self._on_coin(round_number, coin))
+
+    def _coin_round_id(self, round_number: int) -> int:
+        return round_number
+
+    def _on_coin(self, round_number: int, coin_value: int) -> None:
+        state = self._state(round_number)
+        state.coin_value = coin_value
+        self._finish_round(round_number, state)
+
+    # ----------------------------------------------------------- round logic
+    def _finish_round(self, round_number: int, state: _RoundState) -> None:
+        if state.finished or round_number != self.round or self._halted:
+            return
+        support, values = self._aux_support(state)
+        if support < self.ctx.num_nodes - self.ctx.faults or state.coin_value is None:
+            return
+        state.finished = True
+        self.rounds_executed += 1
+        coin = state.coin_value
+        if len(values) == 1:
+            value = next(iter(values))
+            self.estimate = value
+            if value == coin:
+                self._decide(value)
+        else:
+            self.estimate = coin if self.decided_value is None else self.decided_value
+        if self._halted:
+            return
+        next_round = round_number + 1
+        if next_round >= self.max_rounds:
+            self._decide(self.estimate if self.estimate in (0, 1) else 0)
+            self._halted = True
+            return
+        self.round = next_round
+        # Slots of earlier rounds are intentionally kept in the transport so
+        # that NACK repair can still serve laggards that are stuck in an older
+        # round; dirty-only packet building keeps them off the air otherwise.
+        self._broadcast_bval(next_round, self.estimate)
+        # Messages for the new round may have arrived early; re-evaluate them.
+        new_state = self._state(next_round)
+        self._maybe_send_aux(next_round, new_state)
+        self._maybe_reveal_coin(next_round, new_state)
+
+    # ----------------------------------------------------------------- decide
+    def _decide(self, value: int) -> None:
+        if self.decided_value is None:
+            self.decided_value = value
+        if not self._decided_sent:
+            self._decided_sent = True
+            self._decided_notices.setdefault(value, set()).add(self.ctx.node_id)
+            self.send("decided", {"value": value}, payload_bytes=1)
+        self.complete(value)
+        self._maybe_halt()
+
+    def _on_decided(self, message: ComponentMessage) -> None:
+        value = message.payload.get("value")
+        if value not in (0, 1):
+            return
+        self._decided_notices.setdefault(value, set()).add(message.sender)
+        if (len(self._decided_notices[value]) >= self.ctx.small_quorum
+                and not self.completed):
+            self.estimate = value
+            self._decide(value)
+        self._maybe_halt()
+
+    def _maybe_halt(self) -> None:
+        if self.decided_value is None:
+            return
+        notices = len(self._decided_notices.get(self.decided_value, set()))
+        if notices >= self.ctx.quorum:
+            self._halted = True

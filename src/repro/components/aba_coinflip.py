@@ -1,0 +1,22 @@
+"""BEAT's asynchronous Byzantine agreement (threshold coin flipping) -- ABA-CP.
+
+BEAT keeps HoneyBadgerBFT's structure but replaces the threshold-signature
+common coin with threshold *coin flipping*, which is computationally cheaper
+on constrained devices (Fig. 10a vs. 10b) at the cost of extra verification
+data in the SHARE phase (Section V-A).  The agreement logic is identical to
+:class:`~repro.components.aba_cachin.CachinAba`; the difference is the coin
+flavour of the :class:`~repro.components.common_coin.CommonCoinManager` this
+instance is wired to (``flip`` instead of ``tsig``), which selects the
+cheaper cost profile and slightly larger share payload.
+"""
+
+from __future__ import annotations
+
+from repro.components.aba_cachin import CachinAba
+
+
+class CoinFlipAba(CachinAba):
+    """One ABA instance whose round coins come from threshold coin flipping."""
+
+    kind = "aba_cp"
+    coin_flavor = "flip"

@@ -1,0 +1,170 @@
+"""Component runtime: context, base class and message router.
+
+A consensus component instance (one RBC, one ABA, ...) is an event-driven
+state machine identified by ``(kind, tag, instance)``:
+
+* ``kind``     -- the component family (``rbc``, ``cbc``, ``aba_sc``, ...);
+* ``tag``      -- the protocol scope it belongs to (an epoch id, or Dumbo's
+  ``value`` / ``commit`` CBC set), so that several protocols or epochs can
+  coexist on one node;
+* ``instance`` -- the index of the parallel instance (usually the proposer's
+  node id, or the ABA slot).
+
+Messages flow through a transport (batched or baseline); the
+:class:`ComponentRouter` is registered as the transport's receiver and
+dispatches each :class:`~repro.core.packet.ComponentMessage` to the matching
+instance, buffering messages that arrive before their instance exists --
+a routine occurrence in asynchronous protocols.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.batcher import BaseTransport
+from repro.core.packet import ComponentMessage
+from repro.crypto.timing import CryptoSuite
+from repro.net.sim import Simulator
+
+OutputCallback = Callable[[int, Any], None]
+
+
+def sha256_hex(data: bytes) -> str:
+    """Short helper: hex SHA-256 of ``data`` (proposal identification)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class ComponentContext:
+    """Everything a component needs from its hosting node."""
+
+    node_id: int
+    num_nodes: int
+    faults: int
+    transport: BaseTransport
+    suite: CryptoSuite
+    sim: Simulator
+    rng: Any
+
+    @property
+    def quorum(self) -> int:
+        """The 2f + 1 quorum."""
+        return 2 * self.faults + 1
+
+    @property
+    def small_quorum(self) -> int:
+        """The f + 1 quorum."""
+        return self.faults + 1
+
+    def byzantine_quorum_reached(self, count: int) -> bool:
+        """True when ``count`` distinct contributions reach 2f + 1."""
+        return count >= self.quorum
+
+
+class Component:
+    """Base class for consensus component instances."""
+
+    kind = "abstract"
+
+    def __init__(self, ctx: ComponentContext, instance: int, tag: Any = None,
+                 on_output: Optional[OutputCallback] = None) -> None:
+        self.ctx = ctx
+        self.instance = instance
+        self.tag = tag
+        self.on_output = on_output
+        self.completed = False
+        self.output: Any = None
+        ctx.transport.activate(self.kind, tag, instance)
+
+    # ------------------------------------------------------------------ sends
+    def send(self, phase: str, payload: Any, payload_bytes: int = 0,
+             share_bytes: int = 0, round_number: int = 0,
+             slot: Any = None) -> None:
+        """Broadcast a logical message for this instance."""
+        message = ComponentMessage(
+            kind=self.kind, instance=self.instance, phase=phase,
+            sender=self.ctx.node_id, payload=payload,
+            payload_bytes=payload_bytes, share_bytes=share_bytes,
+            round=round_number, tag=self.tag, slot=slot)
+        self.ctx.transport.send(message)
+
+    # ---------------------------------------------------------------- receive
+    def handle(self, message: ComponentMessage) -> None:  # pragma: no cover - abstract
+        """Process one logical message addressed to this instance."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- complete
+    def complete(self, output: Any) -> None:
+        """Record the instance's output and notify the owner (idempotent)."""
+        if self.completed:
+            return
+        self.completed = True
+        self.output = output
+        # Stop NACK-requesting for this instance; peers may still ask us for
+        # its state and we will keep answering from the transport slots.
+        self.ctx.transport.mark_complete(self.kind, self.tag, self.instance)
+        if self.on_output is not None:
+            self.on_output(self.instance, output)
+
+    # ------------------------------------------------------------------ misc
+    def describe(self) -> str:
+        """Readable identifier for logging."""
+        tag = f"/{self.tag}" if self.tag is not None else ""
+        return f"{self.kind}{tag}[{self.instance}]@node{self.ctx.node_id}"
+
+
+class ComponentRouter:
+    """Routes delivered messages to component instances, buffering early ones."""
+
+    def __init__(self) -> None:
+        self._components: dict[tuple, Component] = {}
+        self._pending: dict[tuple, list[ComponentMessage]] = defaultdict(list)
+        self._extra_handlers: dict[tuple, Callable[[ComponentMessage], None]] = {}
+
+    @staticmethod
+    def _key(kind: str, tag: Any, instance: int) -> tuple:
+        return (kind, tag, instance)
+
+    # --------------------------------------------------------------- register
+    def register(self, component: Component) -> None:
+        """Register a component instance and replay any buffered messages."""
+        key = self._key(component.kind, component.tag, component.instance)
+        self._components[key] = component
+        pending = self._pending.pop(key, [])
+        for message in pending:
+            component.handle(message)
+
+    def register_kind_handler(self, kind: str, tag: Any,
+                              handler: Callable[[ComponentMessage], None]) -> None:
+        """Register a handler for a (kind, tag) pair (e.g. the common-coin
+        manager, which serves every instance of its protocol scope)."""
+        self._extra_handlers[(kind, tag)] = handler
+
+    def get(self, kind: str, tag: Any, instance: int) -> Optional[Component]:
+        """Look up a registered component instance."""
+        return self._components.get(self._key(kind, tag, instance))
+
+    def components(self) -> list[Component]:
+        """All registered component instances."""
+        return list(self._components.values())
+
+    # --------------------------------------------------------------- dispatch
+    def dispatch(self, message: ComponentMessage) -> None:
+        """Deliver a message to its component (or buffer it until it exists)."""
+        handler = self._extra_handlers.get((message.kind, message.tag))
+        if handler is not None:
+            handler(message)
+            return
+        key = self._key(message.kind, message.tag, message.instance)
+        component = self._components.get(key)
+        if component is None:
+            self._pending[key].append(message)
+            return
+        component.handle(message)
+
+    def pending_count(self) -> int:
+        """Number of buffered messages waiting for their instance."""
+        return sum(len(messages) for messages in self._pending.values())

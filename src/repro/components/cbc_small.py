@@ -1,0 +1,18 @@
+"""CBC-small: consistent broadcast for tiny proposals (Fig. 5b).
+
+Dumbo's CBC_commit instances broadcast node-id lists of length ``2f + 1``,
+which fit in N bits, so the INITIAL phase can be batched together with the
+ECHO and FINISH phases instead of being carried as a full proposal.  The
+protocol logic is identical to :class:`~repro.components.cbc.Cbc`; the
+``cbc_small`` kind selects the compact packet layout in the packet sizer.
+"""
+
+from __future__ import annotations
+
+from repro.components.cbc import Cbc
+
+
+class CbcSmall(Cbc):
+    """A CBC instance whose value is small (e.g. a 2f+1 node-id list)."""
+
+    kind = "cbc_small"

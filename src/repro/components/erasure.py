@@ -1,0 +1,141 @@
+"""Erasure coding for Cachin's (AVID-style) reliable broadcast.
+
+Cachin's RBC divides the proposal into N blocks using an (k, N) erasure code
+so that any k blocks reconstruct the proposal.  The paper points out that
+this under-utilises a wireless broadcast channel (N - 1 unicast-style
+transmissions instead of one broadcast) and therefore prefers Bracha's RBC;
+the coder is still provided so the comparison can be made.
+
+The code is a systematic-free Reed-Solomon code over the prime field
+``F_p`` with ``p = 2^31 - 1``: the payload is chunked into field elements,
+interpreted as the coefficients of polynomials, and block ``i`` holds the
+evaluations at point ``i + 1``.  Any ``k`` blocks interpolate the polynomials
+and recover the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_PRIME = 2**31 - 1
+_CHUNK_BYTES = 3  # 24-bit chunks always fit below 2^31 - 1
+
+
+class ErasureError(ValueError):
+    """Raised for invalid coding parameters or undecodable share sets."""
+
+
+@dataclass(frozen=True)
+class ErasureBlock:
+    """One coded block: evaluations of the payload polynomials at one point."""
+
+    index: int
+    point: int
+    values: tuple[int, ...]
+    payload_length: int
+    num_data_blocks: int
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the block."""
+        return len(self.values) * _CHUNK_BYTES + 8
+
+
+def _chunk(data: bytes) -> list[int]:
+    padded = data + b"\x00" * ((-len(data)) % _CHUNK_BYTES)
+    return [int.from_bytes(padded[i:i + _CHUNK_BYTES], "big")
+            for i in range(0, len(padded), _CHUNK_BYTES)]
+
+
+def _unchunk(values: list[int], length: int) -> bytes:
+    raw = b"".join(value.to_bytes(_CHUNK_BYTES, "big") for value in values)
+    return raw[:length]
+
+
+def encode_blocks(data: bytes, num_data_blocks: int,
+                  num_blocks: int) -> list[ErasureBlock]:
+    """Encode ``data`` into ``num_blocks`` blocks, any ``num_data_blocks`` of
+    which suffice to decode."""
+    if num_data_blocks < 1:
+        raise ErasureError(f"need at least 1 data block, got {num_data_blocks}")
+    if num_blocks < num_data_blocks:
+        raise ErasureError(
+            f"total blocks ({num_blocks}) must be >= data blocks ({num_data_blocks})")
+    chunks = _chunk(data)
+    if not chunks:
+        chunks = [0]
+    # Group chunks into polynomials of degree < num_data_blocks.
+    polynomials: list[list[int]] = []
+    for start in range(0, len(chunks), num_data_blocks):
+        coefficients = chunks[start:start + num_data_blocks]
+        coefficients += [0] * (num_data_blocks - len(coefficients))
+        polynomials.append(coefficients)
+    blocks = []
+    for index in range(num_blocks):
+        point = index + 1
+        values = []
+        for coefficients in polynomials:
+            acc = 0
+            for coefficient in reversed(coefficients):
+                acc = (acc * point + coefficient) % _PRIME
+            values.append(acc)
+        blocks.append(ErasureBlock(index=index, point=point, values=tuple(values),
+                                   payload_length=len(data),
+                                   num_data_blocks=num_data_blocks))
+    return blocks
+
+
+def decode_blocks(blocks: list[ErasureBlock]) -> bytes:
+    """Recover the payload from at least ``num_data_blocks`` distinct blocks."""
+    if not blocks:
+        raise ErasureError("no blocks to decode")
+    num_data_blocks = blocks[0].num_data_blocks
+    payload_length = blocks[0].payload_length
+    distinct: dict[int, ErasureBlock] = {}
+    for block in blocks:
+        if block.num_data_blocks != num_data_blocks:
+            raise ErasureError("blocks come from different encodings")
+        distinct.setdefault(block.point, block)
+    if len(distinct) < num_data_blocks:
+        raise ErasureError(
+            f"need {num_data_blocks} distinct blocks, got {len(distinct)}")
+    selected = sorted(distinct.values(), key=lambda b: b.point)[:num_data_blocks]
+    points = [block.point for block in selected]
+    num_polynomials = len(selected[0].values)
+    # Lagrange interpolation of each polynomial's coefficients via evaluation
+    # at the required points; we recover coefficients by solving with the
+    # classic Lagrange basis evaluated at x = 0..k-1 is unnecessary -- we just
+    # need the coefficients, so interpolate the polynomial explicitly.
+    chunks: list[int] = []
+    for poly_index in range(num_polynomials):
+        values = [block.values[poly_index] for block in selected]
+        coefficients = _interpolate_coefficients(points, values)
+        chunks.extend(coefficients)
+    return _unchunk(chunks, payload_length)
+
+
+def _interpolate_coefficients(points: list[int], values: list[int]) -> list[int]:
+    """Recover polynomial coefficients (low-to-high) from point evaluations."""
+    k = len(points)
+    # Build the polynomial as a coefficient vector via Lagrange basis expansion.
+    coefficients = [0] * k
+    for i in range(k):
+        # numerator polynomial prod_{j != i} (x - x_j)
+        basis = [1]
+        denominator = 1
+        for j in range(k):
+            if i == j:
+                continue
+            basis = _poly_mul(basis, [(-points[j]) % _PRIME, 1])
+            denominator = (denominator * (points[i] - points[j])) % _PRIME
+        scale = (values[i] * pow(denominator, -1, _PRIME)) % _PRIME
+        for degree, coefficient in enumerate(basis):
+            coefficients[degree] = (coefficients[degree] + coefficient * scale) % _PRIME
+    return coefficients
+
+
+def _poly_mul(a: list[int], b: list[int]) -> list[int]:
+    result = [0] * (len(a) + len(b) - 1)
+    for i, coefficient_a in enumerate(a):
+        for j, coefficient_b in enumerate(b):
+            result[i + j] = (result[i + j] + coefficient_a * coefficient_b) % _PRIME
+    return result

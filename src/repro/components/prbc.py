@@ -1,0 +1,151 @@
+"""Provable reliable broadcast (PRBC) -- Dumbo's broadcast primitive.
+
+PRBC extends RBC with a DONE phase (Fig. 1a, blue lines): once a node
+delivers the RBC value, it broadcasts a threshold-signature share over the
+instance id; ``2f + 1`` shares combine into a succinct *proof* that at least
+``f + 1`` honest nodes hold the proposal.  Dumbo uses these proofs to decide
+which proposals can safely be referenced by later stages without shipping the
+proposals themselves.
+
+Output: ``(value, proof)`` where ``proof`` is the combined threshold
+signature (or ``None`` until it is available).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.components.base import Component, ComponentContext, OutputCallback, sha256_hex
+from repro.core.packet import ComponentMessage
+from repro.crypto.threshold_sig import ThresholdSigError
+
+
+class Prbc(Component):
+    """One PRBC instance (RBC + DONE proof)."""
+
+    kind = "prbc"
+
+    def __init__(self, ctx: ComponentContext, instance: int, tag: Any = None,
+                 on_output: Optional[OutputCallback] = None,
+                 proposer: Optional[int] = None) -> None:
+        super().__init__(ctx, instance, tag, on_output)
+        self.proposer = instance if proposer is None else proposer
+        self.value: Optional[bytes] = None
+        self.value_hash: Optional[str] = None
+        self.proof: Any = None
+        self._echoes: dict[str, set[int]] = {}
+        self._readies: dict[str, set[int]] = {}
+        self._echo_sent = False
+        self._ready_sent = False
+        self._done_sent = False
+        self._pending_deliver_hash: Optional[str] = None
+        self._rbc_delivered = False
+        self._done_shares: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------ start
+    def start(self, value: bytes) -> None:
+        """Proposer entry point: broadcast the proposal."""
+        if self.ctx.node_id != self.proposer:
+            raise ValueError(
+                f"node {self.ctx.node_id} is not the proposer of {self.describe()}")
+        self.send("initial", {"value": value}, payload_bytes=len(value))
+
+    # ----------------------------------------------------------------- handle
+    def handle(self, message: ComponentMessage) -> None:
+        """Process INITIAL / ECHO / READY / DONE messages."""
+        if message.phase == "initial":
+            self._on_initial(message)
+        elif message.phase == "echo":
+            self._on_echo(message)
+        elif message.phase == "ready":
+            self._on_ready(message)
+        elif message.phase == "done":
+            self._on_done(message)
+
+    # ------------------------------------------------------------ RBC phases
+    def _on_initial(self, message: ComponentMessage) -> None:
+        if message.sender != self.proposer:
+            return
+        value = message.payload.get("value")
+        if value is None or self.value is not None:
+            self._check_quorums()
+            return
+        self.value = value
+        self.value_hash = sha256_hex(value)
+        if not self._echo_sent:
+            self._echo_sent = True
+            self.send("echo", {"hash": self.value_hash})
+        self._check_quorums()
+
+    def _on_echo(self, message: ComponentMessage) -> None:
+        value_hash = message.payload.get("hash")
+        if value_hash is None:
+            return
+        self._echoes.setdefault(value_hash, set()).add(message.sender)
+        self._check_quorums()
+
+    def _on_ready(self, message: ComponentMessage) -> None:
+        value_hash = message.payload.get("hash")
+        if value_hash is None:
+            return
+        self._readies.setdefault(value_hash, set()).add(message.sender)
+        self._check_quorums()
+
+    def _check_quorums(self) -> None:
+        for value_hash, echoers in self._echoes.items():
+            if len(echoers) >= self.ctx.quorum and not self._ready_sent:
+                self._send_ready(value_hash)
+        for value_hash, readiers in self._readies.items():
+            if len(readiers) >= self.ctx.small_quorum and not self._ready_sent:
+                self._send_ready(value_hash)
+            if len(readiers) >= self.ctx.quorum:
+                self._pending_deliver_hash = value_hash
+        self._maybe_rbc_deliver()
+
+    def _send_ready(self, value_hash: str) -> None:
+        self._ready_sent = True
+        self.send("ready", {"hash": value_hash})
+
+    # ------------------------------------------------------------- DONE phase
+    def _proof_message(self) -> bytes:
+        return f"prbc|{self.tag}|{self.instance}|{self.value_hash}".encode()
+
+    def _maybe_rbc_deliver(self) -> None:
+        if self._rbc_delivered or self._pending_deliver_hash is None:
+            return
+        if self.value is None or self.value_hash != self._pending_deliver_hash:
+            return
+        self._rbc_delivered = True
+        if not self._done_sent:
+            self._done_sent = True
+            share = self.ctx.suite.tsig_share(self._proof_message())
+            self._done_shares[self.ctx.node_id] = share
+            self.send("done", {"share": share, "hash": self.value_hash},
+                      share_bytes=self.ctx.suite.threshold_share_bytes)
+        self._maybe_complete()
+
+    def _on_done(self, message: ComponentMessage) -> None:
+        share = message.payload.get("share")
+        if share is None or message.sender in self._done_shares:
+            return
+        # Shares can only be verified once we know the value hash they cover.
+        self._done_shares[message.sender] = share
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.completed or not self._rbc_delivered or self.value is None:
+            return
+        proof_message = self._proof_message()
+        valid_shares = []
+        for sender, share in self._done_shares.items():
+            if sender == self.ctx.node_id:
+                valid_shares.append(share)
+            elif self.ctx.suite.tsig_verify_share(proof_message, share):
+                valid_shares.append(share)
+        if len(valid_shares) < self.ctx.quorum:
+            return
+        try:
+            self.proof = self.ctx.suite.tsig_combine(proof_message, valid_shares)
+        except ThresholdSigError:
+            return
+        self.complete((self.value, self.proof))

@@ -1,0 +1,145 @@
+"""Cachin's erasure-coded reliable broadcast (AVID style).
+
+Cachin-Tessaro RBC divides the proposal into N erasure-coded blocks and sends
+a different block to each node; echoes carry the blocks so that every node
+can reconstruct the proposal from any ``f + 1`` of them.  In wired networks
+this trades bandwidth for balance; in a wireless broadcast medium it costs
+``N - 1`` separate transmissions in the INITIAL phase and therefore
+under-utilises the channel, which is why the paper standardises on Bracha's
+RBC (Section IV-C.1).  The implementation is provided so the comparison can
+be reproduced.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Optional
+
+from repro.components.base import Component, ComponentContext, OutputCallback
+from repro.components.erasure import ErasureBlock, ErasureError, decode_blocks, encode_blocks
+from repro.core.packet import ComponentMessage
+
+
+class CachinRbc(Component):
+    """One erasure-coded RBC instance."""
+
+    kind = "rbc"
+
+    def __init__(self, ctx: ComponentContext, instance: int, tag: Any = None,
+                 on_output: Optional[OutputCallback] = None,
+                 proposer: Optional[int] = None) -> None:
+        super().__init__(ctx, instance, tag, on_output)
+        self.proposer = instance if proposer is None else proposer
+        self.root: Optional[str] = None
+        self.my_block: Optional[ErasureBlock] = None
+        self._blocks: dict[str, dict[int, ErasureBlock]] = {}
+        self._echoers: dict[str, set[int]] = {}
+        self._readies: dict[str, set[int]] = {}
+        self._echo_sent = False
+        self._ready_sent = False
+        self._value: Optional[bytes] = None
+        self._deliverable_root: Optional[str] = None
+
+    # ------------------------------------------------------------------ start
+    def start(self, value: bytes) -> None:
+        """Proposer entry point: encode and disperse the proposal."""
+        if self.ctx.node_id != self.proposer:
+            raise ValueError(
+                f"node {self.ctx.node_id} is not the proposer of {self.describe()}")
+        blocks = encode_blocks(value, self.ctx.small_quorum, self.ctx.num_nodes)
+        root = self._root_of(blocks)
+        self._value = value
+        self.root = root
+        # One INITIAL per recipient: the N-1 transmissions the paper points to.
+        for recipient in range(self.ctx.num_nodes):
+            block = blocks[recipient]
+            if recipient == self.ctx.node_id:
+                self.my_block = block
+                self._record_block(root, block)
+                continue
+            self.send("initial", {"root": root, "recipient": recipient,
+                                  "block": block},
+                      payload_bytes=block.size_bytes(), slot=recipient)
+        self._send_echo()
+
+    @staticmethod
+    def _root_of(blocks: list[ErasureBlock]) -> str:
+        digest = hashlib.sha256()
+        for block in blocks:
+            digest.update(str(block.values).encode())
+        return digest.hexdigest()
+
+    # ----------------------------------------------------------------- handle
+    def handle(self, message: ComponentMessage) -> None:
+        """Process INITIAL / ECHO / READY messages."""
+        if message.phase == "initial":
+            self._on_initial(message)
+        elif message.phase == "echo":
+            self._on_echo(message)
+        elif message.phase == "ready":
+            self._on_ready(message)
+
+    def _on_initial(self, message: ComponentMessage) -> None:
+        if message.sender != self.proposer:
+            return
+        if message.payload.get("recipient") != self.ctx.node_id:
+            return
+        if self.my_block is not None:
+            return
+        self.root = message.payload.get("root")
+        self.my_block = message.payload.get("block")
+        if self.my_block is not None:
+            self._record_block(self.root, self.my_block)
+        self._send_echo()
+
+    def _send_echo(self) -> None:
+        if self._echo_sent or self.my_block is None or self.root is None:
+            return
+        self._echo_sent = True
+        self.send("echo", {"root": self.root, "block": self.my_block},
+                  payload_bytes=self.my_block.size_bytes())
+
+    def _on_echo(self, message: ComponentMessage) -> None:
+        root = message.payload.get("root")
+        block = message.payload.get("block")
+        if root is None or block is None:
+            return
+        self._echoers.setdefault(root, set()).add(message.sender)
+        self._record_block(root, block)
+        self._check_quorums()
+
+    def _on_ready(self, message: ComponentMessage) -> None:
+        root = message.payload.get("root")
+        if root is None:
+            return
+        self._readies.setdefault(root, set()).add(message.sender)
+        self._check_quorums()
+
+    # ----------------------------------------------------------- state rules
+    def _record_block(self, root: str, block: ErasureBlock) -> None:
+        self._blocks.setdefault(root, {})[block.point] = block
+
+    def _check_quorums(self) -> None:
+        for root, echoers in self._echoers.items():
+            if len(echoers) >= self.ctx.quorum and not self._ready_sent:
+                self._ready_sent = True
+                self.send("ready", {"root": root})
+        for root, readiers in self._readies.items():
+            if len(readiers) >= self.ctx.small_quorum and not self._ready_sent:
+                self._ready_sent = True
+                self.send("ready", {"root": root})
+            if len(readiers) >= self.ctx.quorum:
+                self._deliverable_root = root
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        if self.completed or self._deliverable_root is None:
+            return
+        blocks = list(self._blocks.get(self._deliverable_root, {}).values())
+        if len(blocks) < self.ctx.small_quorum:
+            return
+        try:
+            value = decode_blocks(blocks)
+        except ErasureError:
+            return
+        self.complete(value)

@@ -1,0 +1,98 @@
+"""RBC-small: reliable broadcast optimised for tiny proposals (Fig. 5a).
+
+When the broadcast value fits in a couple of bits (the votes inside Bracha's
+ABA, or similar), carrying a 32-byte hash per instance wastes bandwidth.  The
+RBC-small packet format encodes the proposal itself (2 bits: 0, 1 or bot) in
+the INITIAL field and lets ECHO/READY votes refer to the value directly.  The
+protocol logic is identical to Bracha's RBC; only the packet accounting (the
+``rbc_small`` kind selects the Fig. 5a layout in the packet sizer) and the
+value matching differ.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.components.base import Component, ComponentContext, OutputCallback
+from repro.core.packet import ComponentMessage
+
+#: the "bottom" proposal (no value)
+BOT = None
+
+
+class RbcSmall(Component):
+    """One RBC-small instance broadcasting a value from a tiny domain."""
+
+    kind = "rbc_small"
+
+    def __init__(self, ctx: ComponentContext, instance: int, tag: Any = None,
+                 on_output: Optional[OutputCallback] = None,
+                 proposer: Optional[int] = None) -> None:
+        super().__init__(ctx, instance, tag, on_output)
+        self.proposer = instance if proposer is None else proposer
+        self.value: Any = BOT
+        self._have_value = False
+        self._echoes: dict[Any, set[int]] = {}
+        self._readies: dict[Any, set[int]] = {}
+        self._echo_sent = False
+        self._ready_sent = False
+        self._deliverable: Any = None
+        self._deliverable_ready = False
+
+    # ------------------------------------------------------------------ start
+    def start(self, value: Any) -> None:
+        """Proposer entry point: broadcast the small value (e.g. 0, 1 or None)."""
+        if self.ctx.node_id != self.proposer:
+            raise ValueError(
+                f"node {self.ctx.node_id} is not the proposer of {self.describe()}")
+        self.send("initial", {"value": value}, payload_bytes=1)
+
+    # ----------------------------------------------------------------- handle
+    def handle(self, message: ComponentMessage) -> None:
+        """Process an INITIAL / ECHO / READY message."""
+        if message.phase == "initial":
+            self._on_initial(message)
+        elif message.phase == "echo":
+            self._on_vote(self._echoes, message)
+        elif message.phase == "ready":
+            self._on_vote(self._readies, message)
+
+    def _on_initial(self, message: ComponentMessage) -> None:
+        if message.sender != self.proposer or self._have_value:
+            self._try_deliver()
+            return
+        self.value = message.payload.get("value")
+        self._have_value = True
+        if not self._echo_sent:
+            self._echo_sent = True
+            self.send("echo", {"value": self.value})
+        self._check_quorums()
+
+    def _on_vote(self, votes: dict[Any, set[int]],
+                 message: ComponentMessage) -> None:
+        value = message.payload.get("value")
+        votes.setdefault(value, set()).add(message.sender)
+        self._check_quorums()
+
+    # ----------------------------------------------------------- state rules
+    def _check_quorums(self) -> None:
+        for value, echoers in self._echoes.items():
+            if len(echoers) >= self.ctx.quorum and not self._ready_sent:
+                self._send_ready(value)
+        for value, readiers in self._readies.items():
+            if len(readiers) >= self.ctx.small_quorum and not self._ready_sent:
+                self._send_ready(value)
+            if len(readiers) >= self.ctx.quorum:
+                self._deliverable = value
+                self._deliverable_ready = True
+        self._try_deliver()
+
+    def _send_ready(self, value: Any) -> None:
+        self._ready_sent = True
+        self.send("ready", {"value": value})
+
+    def _try_deliver(self) -> None:
+        if self.completed or not self._deliverable_ready:
+            return
+        # Small values are self-contained: delivery does not need the INITIAL.
+        self.complete(self._deliverable)

@@ -1,0 +1,226 @@
+"""The packet formats of Figures 4, 5 and 6.
+
+Each format describes, field by field, one of the paper's batched packet
+layouts.  They serve three purposes:
+
+* documentation-as-code of the paper's packet structures;
+* the byte budgets used by the overhead analysis and by tests that check the
+  O(N^2) -> O(N) NACK compression and the effect of signature sizes;
+* deciding how many parallel instances fit in one maximum-size frame (the
+  "packet parallelism D" discussed for multi-hop networks in Section V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+def _bits(n: int) -> int:
+    """Bytes needed for ``n`` bits."""
+    return max(1, math.ceil(n / 8))
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a packet format."""
+
+    name: str
+    size_bytes: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class PacketFormat:
+    """A packet layout: an ordered list of fields."""
+
+    name: str
+    figure: str
+    fields: tuple[FieldSpec, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total packet size."""
+        return sum(field.size_bytes for field in self.fields)
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field by name."""
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"format {self.name!r} has no field {name!r}; "
+                       f"fields: {[f.name for f in self.fields]}")
+
+
+HEADER_BYTES = 10
+HASH_BYTES = 32
+
+
+def rbc_init_format(num_nodes: int, proposal_bytes: int,
+                    signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 4a, RBC_INIT: the INITIAL phase packet of N parallel RBC instances."""
+    return PacketFormat(
+        name="RBC_INIT", figure="4a",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("initial_nack", _bits(num_nodes - 1),
+                      "N-1 bits: which peers' proposals are still missing"),
+            FieldSpec("value", proposal_bytes, "the full proposal"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def rbc_er_format(num_nodes: int, signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 4a, RBC_ER: vertically+horizontally batched ECHO/READY packet."""
+    return PacketFormat(
+        name="RBC_ER", figure="4a",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("echo_nack", _bits(num_nodes),
+                      "N bits: instance i still lacks 2f+1 echoes"),
+            FieldSpec("echo", _bits(num_nodes), "N bits of echo votes"),
+            FieldSpec("ready_nack", _bits(num_nodes),
+                      "N bits: instance i still lacks 2f+1 readies"),
+            FieldSpec("ready", _bits(num_nodes), "N bits of ready votes"),
+            FieldSpec("hash", HASH_BYTES * num_nodes,
+                      "hash of each of the N proposals"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def rbc_small_format(num_nodes: int, signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 5a: N parallel RBC instances with small (2-bit) proposals."""
+    return PacketFormat(
+        name="RBC_SMALL", figure="5a",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("initial_nack", _bits(num_nodes), "N bits"),
+            FieldSpec("initial", _bits(2 * num_nodes),
+                      "2 bits per instance: proposal in {0, 1, bot}"),
+            FieldSpec("echo_nack", _bits(num_nodes), "N bits"),
+            FieldSpec("echo", _bits(num_nodes), "N bits of echo votes"),
+            FieldSpec("ready_nack", _bits(num_nodes), "N bits"),
+            FieldSpec("ready", _bits(num_nodes), "N bits of ready votes"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def cbc_init_format(num_nodes: int, proposal_bytes: int,
+                    signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 4b, CBC_INIT: the INITIAL phase packet of N parallel CBC instances."""
+    return PacketFormat(
+        name="CBC_INIT", figure="4b",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("initial_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("value", proposal_bytes, "the full proposal"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def cbc_ef_format(num_nodes: int, threshold_share_bytes: int = 21,
+                  signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 4b, CBC_EF: batched ECHO/FINISH packet of N parallel CBC instances."""
+    return PacketFormat(
+        name="CBC_EF", figure="4b",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("echo_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("finish_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("share", threshold_share_bytes * num_nodes,
+                      "threshold signature share per instance"),
+            FieldSpec("hash", HASH_BYTES * num_nodes,
+                      "hash of each of the N proposals"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def cbc_small_format(num_nodes: int, threshold_share_bytes: int = 21,
+                     signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 5b: N parallel CBC instances with small proposals (node-id lists)."""
+    value_bits_per_instance = num_nodes  # a 2f+1 node-id list fits in N bits
+    return PacketFormat(
+        name="CBC_SMALL", figure="5b",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("initial_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("echo_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("finish_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("share", threshold_share_bytes * num_nodes,
+                      "threshold signature share per instance"),
+            FieldSpec("value", _bits(value_bits_per_instance * num_nodes),
+                      "N bits per proposal (node-id list)"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def prbc_done_format(num_nodes: int, threshold_share_bytes: int = 21,
+                     signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 4c: the DONE-phase packet of N parallel PRBC instances."""
+    return PacketFormat(
+        name="PRBC_DONE", figure="4c",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("sig_nack", _bits(num_nodes), "N bits"),
+            FieldSpec("share", threshold_share_bytes * num_nodes,
+                      "threshold signature share per instance"),
+            FieldSpec("hash", HASH_BYTES * num_nodes,
+                      "hash of each of the N proposals"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def aba_lc_format(num_nodes: int, parallel_instances: int,
+                  signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 6a: k parallel Bracha's ABA instances (three batched RBC-small rounds)."""
+    per_rbc_nack = 3 * _bits(num_nodes) + _bits(2 * num_nodes)  # nack+votes of Fig. 5a core
+    return PacketFormat(
+        name="ABA_LC", figure="6a",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("round_nack", _bits(num_nodes), "N bits for the base instance"),
+            FieldSpec("round_nack_ext",
+                      _bits(num_nodes) * max(0, parallel_instances - 1),
+                      "extension covering the additional parallel ABA instances"),
+            FieldSpec("nack_rbc_1", per_rbc_nack * parallel_instances,
+                      "phase-1 RBC votes for every batched ABA instance"),
+            FieldSpec("nack_rbc_2", per_rbc_nack * parallel_instances,
+                      "phase-2 RBC votes for every batched ABA instance"),
+            FieldSpec("nack_rbc_3", per_rbc_nack * parallel_instances,
+                      "phase-3 RBC votes for every batched ABA instance"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+def aba_sc_format(num_nodes: int, parallel_instances: int,
+                  threshold_share_bytes: int = 21,
+                  signature_bytes: int = 40) -> PacketFormat:
+    """Fig. 6b: k parallel Cachin-style ABA instances (BVAL/AUX/SHARE batched)."""
+    return PacketFormat(
+        name="ABA_SC", figure="6b",
+        fields=(
+            FieldSpec("header", HEADER_BYTES, "node id, packet type, routing info"),
+            FieldSpec("bval", _bits(2 * num_nodes * parallel_instances),
+                      "k * 2N bits of BVAL votes"),
+            FieldSpec("aux", _bits(2 * num_nodes * parallel_instances),
+                      "k * 2N bits of AUX votes"),
+            FieldSpec("share_nack", _bits(num_nodes - 1), "N-1 bits"),
+            FieldSpec("share", threshold_share_bytes,
+                      "one coin share (the k instances share the round coin)"),
+            FieldSpec("signature", signature_bytes, "public-key digital signature"),
+        ))
+
+
+#: registry of format constructors keyed by name, for tests and reporting
+FORMAT_BUILDERS: dict[str, Callable[..., PacketFormat]] = {
+    "RBC_INIT": rbc_init_format,
+    "RBC_ER": rbc_er_format,
+    "RBC_SMALL": rbc_small_format,
+    "CBC_INIT": cbc_init_format,
+    "CBC_EF": cbc_ef_format,
+    "CBC_SMALL": cbc_small_format,
+    "PRBC_DONE": prbc_done_format,
+    "ABA_LC": aba_lc_format,
+    "ABA_SC": aba_sc_format,
+}

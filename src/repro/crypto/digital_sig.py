@@ -1,0 +1,102 @@
+"""Per-node public-key digital signatures (micro-ecc stand-in).
+
+Every packet in the wireless testbed carries a public-key digital signature
+(Section IV-B.1), so its size and computation cost matter.  The paper uses
+micro-ecc ECDSA over secp160r1..secp256k1; this module provides Schnorr
+signatures over the reproduction's Schnorr group, which have the same
+interface and security role.  The per-curve byte size and latency of the
+original ECDSA operations are modelled by :mod:`repro.crypto.curves` and
+charged by :mod:`repro.crypto.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.group import DEFAULT_GROUP, Group
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(R, z)``."""
+
+    commitment: int
+    response: int
+
+    def size_bytes(self) -> int:
+        """Nominal wire size (one group element + one scalar)."""
+        return 64
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """A public verification key ``pk = g^sk``."""
+
+    group: Group
+    public_element: int
+    owner: int = -1
+
+    def verify(self, message: bytes, signature: Signature) -> bool:
+        """Verify a Schnorr signature on ``message``."""
+        group = self.group
+        if not group.is_member(signature.commitment):
+            return False
+        challenge = group.hash_to_scalar(
+            b"schnorr",
+            group.element_to_bytes(signature.commitment),
+            group.element_to_bytes(self.public_element),
+            message,
+        )
+        lhs = group.power_of_g(signature.response)
+        rhs = group.mul(signature.commitment,
+                        group.exp(self.public_element, challenge))
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """A private signing key; ``owner`` is the node id it belongs to."""
+
+    group: Group
+    secret: int
+    owner: int = -1
+
+    def verify_key(self) -> VerifyKey:
+        """Derive the matching public key."""
+        return VerifyKey(group=self.group,
+                         public_element=self.group.power_of_g(self.secret),
+                         owner=self.owner)
+
+    def sign(self, message: bytes, rng) -> Signature:
+        """Produce a Schnorr signature on ``message``."""
+        group = self.group
+        nonce = group.random_scalar(rng)
+        commitment = group.power_of_g(nonce)
+        challenge = group.hash_to_scalar(
+            b"schnorr",
+            group.element_to_bytes(commitment),
+            group.element_to_bytes(group.power_of_g(self.secret)),
+            message,
+        )
+        response = (nonce + challenge * self.secret) % group.q
+        return Signature(commitment=commitment, response=response)
+
+
+def generate_keypair(rng, owner: int = -1,
+                     group: Group = DEFAULT_GROUP) -> tuple[SigningKey, VerifyKey]:
+    """Generate a fresh (signing key, verify key) pair for a node."""
+    secret = group.random_scalar(rng)
+    signing_key = SigningKey(group=group, secret=secret, owner=owner)
+    return signing_key, signing_key.verify_key()
+
+
+def generate_keyring(num_nodes: int, rng,
+                     group: Group = DEFAULT_GROUP) -> tuple[list[SigningKey], list[VerifyKey]]:
+    """Generate keypairs for every node; index in the list is the node id."""
+    signing_keys = []
+    verify_keys = []
+    for node_id in range(num_nodes):
+        signing_key, verify_key = generate_keypair(rng, owner=node_id, group=group)
+        signing_keys.append(signing_key)
+        verify_keys.append(verify_key)
+    return signing_keys, verify_keys

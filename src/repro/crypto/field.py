@@ -1,0 +1,158 @@
+"""Prime-field arithmetic, polynomials and Lagrange interpolation.
+
+This is the algebra underlying Shamir secret sharing and the threshold
+primitives: a prime field ``F_q`` where ``q`` is the (prime) order of the
+Schnorr group used by :mod:`repro.crypto.group`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class FieldError(ValueError):
+    """Raised on invalid field operations (e.g. inverting zero)."""
+
+
+class PrimeField:
+    """Arithmetic in the prime field ``F_q``.
+
+    The class is intentionally free of element wrapper objects: elements are
+    plain Python integers in ``[0, q)``, which keeps the hot paths (polynomial
+    evaluation, Lagrange interpolation) fast.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        if modulus < 2:
+            raise FieldError(f"field modulus must be >= 2, got {modulus}")
+        self.q = modulus
+
+    def reduce(self, x: int) -> int:
+        """Map an integer into ``[0, q)``."""
+        return x % self.q
+
+    def add(self, a: int, b: int) -> int:
+        """Return ``a + b`` in the field."""
+        return (a + b) % self.q
+
+    def sub(self, a: int, b: int) -> int:
+        """Return ``a - b`` in the field."""
+        return (a - b) % self.q
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``a * b`` in the field."""
+        return (a * b) % self.q
+
+    def neg(self, a: int) -> int:
+        """Return ``-a`` in the field."""
+        return (-a) % self.q
+
+    def inv(self, a: int) -> int:
+        """Return the multiplicative inverse of ``a``.
+
+        Raises :class:`FieldError` if ``a`` is zero modulo ``q``.
+        """
+        a = a % self.q
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return pow(a, -1, self.q)
+
+    def div(self, a: int, b: int) -> int:
+        """Return ``a / b`` in the field."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """Return ``a ** e`` in the field (``e`` may be negative)."""
+        if e < 0:
+            return pow(self.inv(a), -e, self.q)
+        return pow(a, e, self.q)
+
+    def random_element(self, rng) -> int:
+        """Draw a uniformly random field element using ``rng.randrange``."""
+        return rng.randrange(self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrimeField(q={self.q})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.q == self.q
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.q))
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A polynomial over a prime field, stored as coefficients low-to-high.
+
+    ``coeffs[0]`` is the constant term, which for Shamir sharing is the
+    secret.
+    """
+
+    field: PrimeField
+    coeffs: tuple[int, ...]
+
+    @classmethod
+    def random(cls, field: PrimeField, degree: int, constant: int, rng) -> "Polynomial":
+        """Random polynomial of the given degree with fixed constant term."""
+        if degree < 0:
+            raise FieldError(f"polynomial degree must be >= 0, got {degree}")
+        coeffs = [field.reduce(constant)]
+        coeffs.extend(field.random_element(rng) for _ in range(degree))
+        return cls(field=field, coeffs=tuple(coeffs))
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (number of coefficients minus one)."""
+        return len(self.coeffs) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` using Horner's rule."""
+        q = self.field.q
+        acc = 0
+        for coeff in reversed(self.coeffs):
+            acc = (acc * x + coeff) % q
+        return acc
+
+    def evaluate_many(self, xs: Iterable[int]) -> list[int]:
+        """Evaluate at several points."""
+        return [self.evaluate(x) for x in xs]
+
+
+def lagrange_coefficients_at_zero(field: PrimeField,
+                                  xs: Sequence[int]) -> list[int]:
+    """Lagrange coefficients ``λ_i`` such that ``f(0) = Σ λ_i · f(x_i)``.
+
+    ``xs`` must be distinct and non-zero modulo ``q``.  This is the combining
+    step for Shamir shares and for threshold signature/coin shares (where the
+    combination happens in the exponent).
+    """
+    points = [field.reduce(x) for x in xs]
+    if len(set(points)) != len(points):
+        raise FieldError(f"duplicate share indices in {list(xs)}")
+    if any(p == 0 for p in points):
+        raise FieldError("share index 0 is reserved for the secret")
+    coefficients = []
+    for i, x_i in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(x_j))
+            denominator = field.mul(denominator, field.sub(x_i, x_j))
+        coefficients.append(field.div(numerator, denominator))
+    return coefficients
+
+
+def interpolate_at_zero(field: PrimeField,
+                        points: Sequence[tuple[int, int]]) -> int:
+    """Interpolate ``f(0)`` from ``(x, f(x))`` pairs."""
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    coefficients = lagrange_coefficients_at_zero(field, xs)
+    acc = 0
+    for coeff, y in zip(coefficients, ys):
+        acc = field.add(acc, field.mul(coeff, y))
+    return acc

@@ -1,0 +1,166 @@
+"""A Schnorr group: the prime-order subgroup of ``Z_P^*`` for a safe prime P.
+
+The paper's cryptographic module uses pairing-friendly curves (BN158, BN254,
+BLS12-381, ...) via MIRACL.  Pairings are not available offline in pure
+Python at a reasonable cost, so every pairing-based construction in this
+reproduction is replaced by its discrete-log analogue in this group:
+
+* BLS threshold signatures  -> threshold "group signatures" ``H(m)^s`` with
+  Chaum-Pedersen share-correctness proofs,
+* the threshold common coin -> Cachin-Kursawe-Shoup DDH coin ``H(tag)^s``,
+* threshold encryption      -> labelled threshold ElGamal.
+
+These substitutions preserve exactly the properties consensus relies on
+(shares combine iff at least ``t+1`` are valid, invalid shares are detected,
+outputs are unpredictable to fewer than ``t+1`` parties) while staying cheap
+enough for simulation.  The *cost* of the original pairing operations is
+modelled separately by :mod:`repro.crypto.curves`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.field import PrimeField
+
+# 256-bit safe prime P = 2q + 1 generated once with a fixed seed (see DESIGN.md).
+_SAFE_PRIME_P = 105216956437749856470442369914846542332764088290024751311797079457000279170143
+_SUBGROUP_ORDER_Q = 52608478218874928235221184957423271166382044145012375655898539728500139585071
+_GENERATOR = 49  # 7^2 mod P, a generator of the order-q subgroup.
+
+
+@dataclass(frozen=True)
+class Group:
+    """A cyclic group of prime order ``q`` written multiplicatively.
+
+    Elements are integers in ``Z_P^*`` belonging to the order-``q`` subgroup;
+    exponents live in the scalar field ``F_q``.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    @property
+    def scalar_field(self) -> PrimeField:
+        """The field of exponents ``F_q``."""
+        return PrimeField(self.q)
+
+    # ----------------------------------------------------------- group ops
+    def exp(self, base: int, exponent: int) -> int:
+        """Return ``base ** exponent mod P``."""
+        return pow(base, exponent % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        """Return the group product ``a * b mod P``."""
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        """Return the group inverse of ``a``."""
+        return pow(a, -1, self.p)
+
+    def power_of_g(self, exponent: int) -> int:
+        """Return ``g ** exponent``."""
+        return self.exp(self.g, exponent)
+
+    def is_member(self, a: int) -> bool:
+        """True if ``a`` is a member of the order-``q`` subgroup."""
+        if not 1 <= a < self.p:
+            return False
+        return pow(a, self.q, self.p) == 1
+
+    # --------------------------------------------------------------- hashing
+    def hash_to_scalar(self, *parts: bytes) -> int:
+        """Hash arbitrary byte strings to an exponent in ``F_q``."""
+        digest = hashlib.sha512(b"\x00".join(parts)).digest()
+        return int.from_bytes(digest, "big") % self.q
+
+    def hash_to_group(self, *parts: bytes) -> int:
+        """Hash arbitrary byte strings to a group element.
+
+        We hash to a scalar ``e`` and return ``g ** e`` -- the discrete log of
+        the result is unknown to nobody in this simulation-oriented setting,
+        which is acceptable because unforgeability against computationally
+        bounded adversaries is not what the consensus experiments exercise.
+        """
+        exponent = self.hash_to_scalar(b"h2g", *parts)
+        # Avoid the identity element, which would break share verification.
+        return self.exp(self.g, exponent if exponent != 0 else 1)
+
+    def random_scalar(self, rng) -> int:
+        """Uniformly random non-zero exponent."""
+        value = rng.randrange(1, self.q)
+        return value
+
+    def element_to_bytes(self, a: int) -> bytes:
+        """Canonical byte encoding of a group element (32 bytes + sign pad)."""
+        return a.to_bytes((self.p.bit_length() + 7) // 8, "big")
+
+    def scalar_to_bytes(self, s: int) -> bytes:
+        """Canonical byte encoding of a scalar."""
+        return (s % self.q).to_bytes((self.q.bit_length() + 7) // 8, "big")
+
+
+DEFAULT_GROUP = Group(p=_SAFE_PRIME_P, q=_SUBGROUP_ORDER_Q, g=_GENERATOR)
+
+
+@dataclass(frozen=True)
+class ChaumPedersenProof:
+    """NIZK proof that ``log_g(v) == log_h(u)`` (discrete-log equality).
+
+    Used to prove that a threshold signature / coin / decryption share was
+    computed with the prover's correct key share, without revealing it.
+    """
+
+    commitment_g: int
+    commitment_h: int
+    response: int
+
+    def size_bytes(self) -> int:
+        """Wire size of the proof (two group elements + one scalar)."""
+        return 3 * 32
+
+
+def prove_dlog_equality(group: Group, secret: int, base_h: int,
+                        value_g: int, value_h: int, rng,
+                        context: bytes = b"") -> ChaumPedersenProof:
+    """Produce a Chaum-Pedersen proof for ``value_g = g^secret``, ``value_h = base_h^secret``."""
+    nonce = group.random_scalar(rng)
+    commitment_g = group.power_of_g(nonce)
+    commitment_h = group.exp(base_h, nonce)
+    challenge = group.hash_to_scalar(
+        b"chaum-pedersen", context,
+        group.element_to_bytes(base_h),
+        group.element_to_bytes(value_g),
+        group.element_to_bytes(value_h),
+        group.element_to_bytes(commitment_g),
+        group.element_to_bytes(commitment_h),
+    )
+    response = (nonce + challenge * secret) % group.q
+    return ChaumPedersenProof(commitment_g=commitment_g,
+                              commitment_h=commitment_h,
+                              response=response)
+
+
+def verify_dlog_equality(group: Group, proof: ChaumPedersenProof, base_h: int,
+                         value_g: int, value_h: int,
+                         context: bytes = b"") -> bool:
+    """Verify a Chaum-Pedersen discrete-log-equality proof."""
+    if not (group.is_member(value_g) and group.is_member(value_h)):
+        return False
+    challenge = group.hash_to_scalar(
+        b"chaum-pedersen", context,
+        group.element_to_bytes(base_h),
+        group.element_to_bytes(value_g),
+        group.element_to_bytes(value_h),
+        group.element_to_bytes(proof.commitment_g),
+        group.element_to_bytes(proof.commitment_h),
+    )
+    lhs_g = group.power_of_g(proof.response)
+    rhs_g = group.mul(proof.commitment_g, group.exp(value_g, challenge))
+    if lhs_g != rhs_g:
+        return False
+    lhs_h = group.exp(base_h, proof.response)
+    rhs_h = group.mul(proof.commitment_h, group.exp(value_h, challenge))
+    return lhs_h == rhs_h

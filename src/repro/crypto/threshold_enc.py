@@ -1,0 +1,222 @@
+"""Labelled threshold encryption (threshold ElGamal, Baek-Zheng style).
+
+HoneyBadgerBFT and BEAT threshold-encrypt each node's proposal so that the
+adversary cannot censor specific transactions: the plaintext only becomes
+readable after the Asynchronous Common Subset is fixed and ``f + 1`` nodes
+have released decryption shares.
+
+Construction (discrete-log analogue of the paper's pairing-based scheme):
+
+* public key ``y = g^s`` with ``s`` Shamir-shared as ``s_i``;
+* ``Encrypt(m)``: pick ``r``, ciphertext is ``(U = g^r, C = m xor KDF(y^r))``;
+* node ``i``'s decryption share is ``U^{s_i}`` with a Chaum-Pedersen proof;
+* ``f + 1`` valid shares Lagrange-combine to ``U^s = y^r``, which re-derives
+  the KDF key and recovers ``m``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.crypto.field import lagrange_coefficients_at_zero
+from repro.crypto.group import (
+    ChaumPedersenProof,
+    DEFAULT_GROUP,
+    Group,
+    prove_dlog_equality,
+    verify_dlog_equality,
+)
+from repro.crypto.shamir import ShamirDealer
+
+
+class ThresholdEncError(ValueError):
+    """Raised on malformed ciphertexts, shares or insufficient share sets."""
+
+
+def _keystream(key_material: bytes, length: int) -> bytes:
+    """Derive a keystream of ``length`` bytes from ``key_material`` (SHA-256 CTR)."""
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(key_material + counter.to_bytes(4, "big")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """A labelled threshold-ElGamal ciphertext."""
+
+    ephemeral: int
+    payload: bytes
+    label: bytes
+
+    def size_bytes(self) -> int:
+        """Nominal wire size: one group element plus the masked payload."""
+        return 32 + len(self.payload)
+
+
+def ciphertext_to_bytes(ciphertext: Ciphertext) -> bytes:
+    """Serialise a ciphertext into a self-contained byte string.
+
+    HoneyBadgerBFT / BEAT broadcast ciphertexts through RBC, which operates on
+    opaque byte strings; this is the canonical wire encoding.
+    """
+    ephemeral = ciphertext.ephemeral.to_bytes(40, "big")
+    label_length = len(ciphertext.label).to_bytes(2, "big")
+    return ephemeral + label_length + ciphertext.label + ciphertext.payload
+
+
+def ciphertext_from_bytes(data: bytes) -> Ciphertext:
+    """Inverse of :func:`ciphertext_to_bytes`."""
+    if len(data) < 42:
+        raise ThresholdEncError("truncated ciphertext encoding")
+    ephemeral = int.from_bytes(data[:40], "big")
+    label_length = int.from_bytes(data[40:42], "big")
+    if len(data) < 42 + label_length:
+        raise ThresholdEncError("truncated ciphertext label")
+    label = data[42:42 + label_length]
+    payload = data[42 + label_length:]
+    return Ciphertext(ephemeral=ephemeral, payload=payload, label=label)
+
+
+@dataclass(frozen=True)
+class DecryptionShare:
+    """Node ``signer``'s decryption share ``U^{s_i}`` with correctness proof."""
+
+    signer: int
+    value: int
+    proof: ChaumPedersenProof
+
+    def size_bytes(self) -> int:
+        """Nominal wire size of the share."""
+        return 32 + self.proof.size_bytes()
+
+
+@dataclass(frozen=True)
+class ThresholdEncPublicKey:
+    """Public encryption key plus per-node share verification keys."""
+
+    group: Group
+    num_parties: int
+    threshold: int
+    encryption_key: int
+    share_verify_keys: tuple[int, ...]
+
+    def encrypt(self, plaintext: bytes, label: bytes, rng) -> Ciphertext:
+        """Encrypt ``plaintext`` under the master public key."""
+        nonce = self.group.random_scalar(rng)
+        ephemeral = self.group.power_of_g(nonce)
+        shared = self.group.exp(self.encryption_key, nonce)
+        key_material = hashlib.sha256(
+            b"tenc" + self.group.element_to_bytes(shared) + label).digest()
+        masked = bytes(a ^ b for a, b in
+                       zip(plaintext, _keystream(key_material, len(plaintext))))
+        return Ciphertext(ephemeral=ephemeral, payload=masked, label=label)
+
+    def verify_share(self, ciphertext: Ciphertext, share: DecryptionShare) -> bool:
+        """Check a decryption share's correctness proof."""
+        if not isinstance(share, DecryptionShare):
+            return False
+        if not 1 <= share.signer <= self.num_parties:
+            return False
+        verify_key = self.share_verify_keys[share.signer - 1]
+        return verify_dlog_equality(self.group, share.proof,
+                                    base_h=ciphertext.ephemeral,
+                                    value_g=verify_key, value_h=share.value,
+                                    context=b"tenc-share")
+
+    def combine(self, ciphertext: Ciphertext,
+                shares: Sequence[DecryptionShare], verify: bool = True) -> bytes:
+        """Combine ``threshold`` valid decryption shares and recover the plaintext."""
+        distinct: dict[int, DecryptionShare] = {}
+        for share in shares:
+            if verify and not self.verify_share(ciphertext, share):
+                continue
+            distinct.setdefault(share.signer, share)
+        if len(distinct) < self.threshold:
+            raise ThresholdEncError(
+                f"need {self.threshold} valid decryption shares, have {len(distinct)}")
+        selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
+        indices = [share.signer for share in selected]
+        coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
+        shared = 1
+        for coefficient, share in zip(coefficients, selected):
+            shared = self.group.mul(shared, self.group.exp(share.value, coefficient))
+        key_material = hashlib.sha256(
+            b"tenc" + self.group.element_to_bytes(shared) + ciphertext.label).digest()
+        return bytes(a ^ b for a, b in
+                     zip(ciphertext.payload,
+                         _keystream(key_material, len(ciphertext.payload))))
+
+
+@dataclass(frozen=True)
+class ThresholdEncPrivateShare:
+    """Node ``index``'s private decryption key share."""
+
+    index: int
+    secret: int
+
+
+class ThresholdEncScheme:
+    """Per-node handle bundling the public key with this node's key share."""
+
+    def __init__(self, public_key: ThresholdEncPublicKey,
+                 private_share: ThresholdEncPrivateShare) -> None:
+        self.public_key = public_key
+        self.private_share = private_share
+        self.group = public_key.group
+
+    @property
+    def threshold(self) -> int:
+        """Number of decryption shares needed."""
+        return self.public_key.threshold
+
+    def encrypt(self, plaintext: bytes, label: bytes, rng) -> Ciphertext:
+        """Encrypt under the master public key (any node or client can do this)."""
+        return self.public_key.encrypt(plaintext, label, rng)
+
+    def decryption_share(self, ciphertext: Ciphertext, rng) -> DecryptionShare:
+        """Produce this node's decryption share for ``ciphertext``."""
+        value = self.group.exp(ciphertext.ephemeral, self.private_share.secret)
+        proof = prove_dlog_equality(
+            self.group, secret=self.private_share.secret,
+            base_h=ciphertext.ephemeral,
+            value_g=self.group.power_of_g(self.private_share.secret),
+            value_h=value, rng=rng, context=b"tenc-share")
+        return DecryptionShare(signer=self.private_share.index, value=value,
+                               proof=proof)
+
+    def verify_share(self, ciphertext: Ciphertext, share: DecryptionShare) -> bool:
+        """Verify another node's decryption share."""
+        return self.public_key.verify_share(ciphertext, share)
+
+    def combine(self, ciphertext: Ciphertext,
+                shares: Iterable[DecryptionShare]) -> bytes:
+        """Recover the plaintext from enough valid shares."""
+        return self.public_key.combine(ciphertext, list(shares))
+
+
+def deal_threshold_enc(num_parties: int, threshold: int, rng,
+                       group: Group = DEFAULT_GROUP,
+                       master_secret: Optional[int] = None) -> list[ThresholdEncScheme]:
+    """Trusted-dealer setup for threshold encryption; one scheme per node."""
+    if threshold < 1 or threshold > num_parties:
+        raise ThresholdEncError(
+            f"threshold must be in [1, {num_parties}], got {threshold}")
+    field = group.scalar_field
+    secret = master_secret if master_secret is not None else group.random_scalar(rng)
+    dealer = ShamirDealer(field, num_parties, threshold)
+    shares = dealer.deal(secret, rng)
+    public_key = ThresholdEncPublicKey(
+        group=group,
+        num_parties=num_parties,
+        threshold=threshold,
+        encryption_key=group.power_of_g(secret),
+        share_verify_keys=tuple(group.power_of_g(s.value) for s in shares),
+    )
+    return [ThresholdEncScheme(public_key,
+                               ThresholdEncPrivateShare(index=s.index, secret=s.value))
+            for s in shares]

@@ -1,0 +1,262 @@
+"""Cost-accounted cryptography facade used by consensus components.
+
+Consensus latency on the paper's testbed is driven as much by cryptographic
+computation as by airtime, so every cryptographic operation performed inside
+the simulator must (a) actually execute (so the protocols are functionally
+real) and (b) charge the executing node's CPU with the per-curve latency of
+Figure 10.  :class:`CryptoSuite` is the single entry point that does both:
+components call its methods, the real primitive runs, and the configured
+``cost_sink`` (normally the owning :class:`repro.net.node.NetworkNode`) is
+charged with the modelled latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.crypto.curves import (
+    CurveProfile,
+    DEFAULT_EC_CURVE,
+    DEFAULT_THRESHOLD_CURVE,
+    ThresholdCurveProfile,
+    get_ec_curve,
+    get_threshold_curve,
+)
+from repro.crypto.digital_sig import Signature, SigningKey, VerifyKey
+from repro.crypto.threshold_coin import CoinShare, ThresholdCoinScheme
+from repro.crypto.threshold_enc import Ciphertext, DecryptionShare, ThresholdEncScheme
+from repro.crypto.threshold_sig import (
+    ThresholdSigScheme,
+    ThresholdSigShare,
+    ThresholdSignature,
+)
+
+CostSink = Callable[[float], None]
+
+
+@dataclass(frozen=True)
+class CryptoCost:
+    """A single accounted operation."""
+
+    operation: str
+    seconds: float
+
+
+@dataclass
+class CostLedger:
+    """Accumulates cryptographic computation cost per operation type."""
+
+    entries: list[CryptoCost] = field(default_factory=list)
+
+    def record(self, operation: str, seconds: float) -> None:
+        """Record one operation."""
+        self.entries.append(CryptoCost(operation=operation, seconds=seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        """Total CPU seconds spent on cryptography."""
+        return sum(entry.seconds for entry in self.entries)
+
+    def count(self, operation: str) -> int:
+        """Number of operations of a given type."""
+        return sum(1 for entry in self.entries if entry.operation == operation)
+
+    def seconds_for(self, operation: str) -> float:
+        """Total seconds spent on a given operation type."""
+        return sum(entry.seconds for entry in self.entries
+                   if entry.operation == operation)
+
+    def by_operation(self) -> dict[str, float]:
+        """Total seconds grouped by operation type."""
+        grouped: dict[str, float] = {}
+        for entry in self.entries:
+            grouped[entry.operation] = grouped.get(entry.operation, 0.0) + entry.seconds
+        return grouped
+
+
+class CryptoSuite:
+    """Bundles one node's key material with the cost model.
+
+    Parameters
+    ----------
+    node_id:
+        The owning node (0-based).
+    signing_key / verify_keys:
+        The node's digital-signature keypair and everybody's verify keys.
+    threshold_sig / threshold_coin / coin_flip / threshold_enc:
+        The node's handles for the threshold schemes (any may be ``None`` when
+        a protocol does not use it, e.g. local-coin ABA needs no coin scheme).
+    ec_curve / threshold_curve:
+        Curve profiles controlling byte sizes and operation latencies.
+    rng:
+        Randomness source for signing/encryption nonces.
+    cost_sink:
+        Callback charged with every operation's latency (seconds).  The node
+        runtime installs a callback that extends its CPU-busy time.
+    """
+
+    def __init__(self, node_id: int, signing_key: SigningKey,
+                 verify_keys: Sequence[VerifyKey],
+                 threshold_sig: Optional[ThresholdSigScheme] = None,
+                 threshold_coin: Optional[ThresholdCoinScheme] = None,
+                 coin_flip: Optional[ThresholdCoinScheme] = None,
+                 threshold_enc: Optional[ThresholdEncScheme] = None,
+                 ec_curve: str = DEFAULT_EC_CURVE,
+                 threshold_curve: str = DEFAULT_THRESHOLD_CURVE,
+                 rng=None, cost_sink: Optional[CostSink] = None) -> None:
+        self.node_id = node_id
+        self.signing_key = signing_key
+        self.verify_keys = list(verify_keys)
+        self.threshold_sig = threshold_sig
+        self.threshold_coin = threshold_coin
+        self.coin_flip = coin_flip
+        self.threshold_enc = threshold_enc
+        self.ec_profile: CurveProfile = get_ec_curve(ec_curve)
+        self.threshold_profile: ThresholdCurveProfile = get_threshold_curve(threshold_curve)
+        self.rng = rng
+        self.cost_sink = cost_sink
+        self.ledger = CostLedger()
+
+    # ------------------------------------------------------------- accounting
+    def _charge(self, operation: str, milliseconds: float) -> None:
+        seconds = milliseconds / 1000.0
+        self.ledger.record(operation, seconds)
+        if self.cost_sink is not None:
+            self.cost_sink(seconds)
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def digital_signature_bytes(self) -> int:
+        """Wire size of one public-key digital signature."""
+        return self.ec_profile.signature_bytes
+
+    @property
+    def threshold_signature_bytes(self) -> int:
+        """Wire size of one combined threshold signature."""
+        return self.threshold_profile.threshold_sig_bytes
+
+    @property
+    def threshold_share_bytes(self) -> int:
+        """Wire size of one threshold signature/coin share."""
+        return self.threshold_profile.share_bytes
+
+    # --------------------------------------------------- digital signatures
+    def sign(self, message: bytes) -> Signature:
+        """Sign a packet payload with the node's digital signature key."""
+        self._charge("ecdsa_sign", self.ec_profile.sign_ms)
+        return self.signing_key.sign(message, self.rng)
+
+    def verify(self, signer: int, message: bytes, signature: Signature) -> bool:
+        """Verify a packet signature from ``signer``."""
+        self._charge("ecdsa_verify", self.ec_profile.verify_ms)
+        if not 0 <= signer < len(self.verify_keys):
+            return False
+        return self.verify_keys[signer].verify(message, signature)
+
+    # --------------------------------------------------- threshold signatures
+    def tsig_share(self, message: bytes) -> ThresholdSigShare:
+        """Produce a threshold-signature share."""
+        self._require(self.threshold_sig, "threshold signature scheme")
+        self._charge("tsig_sign", self.threshold_profile.sign_share_ms)
+        return self.threshold_sig.sign_share(message, self.rng)
+
+    def tsig_verify_share(self, message: bytes, share: ThresholdSigShare) -> bool:
+        """Verify a threshold-signature share."""
+        self._require(self.threshold_sig, "threshold signature scheme")
+        self._charge("tsig_verify_share", self.threshold_profile.verify_share_ms)
+        return self.threshold_sig.verify_share(message, share)
+
+    def tsig_combine(self, message: bytes,
+                     shares: Iterable[ThresholdSigShare]) -> ThresholdSignature:
+        """Combine shares into a threshold signature."""
+        self._require(self.threshold_sig, "threshold signature scheme")
+        self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
+        return self.threshold_sig.combine(message, shares)
+
+    def tsig_verify(self, message: bytes, signature: ThresholdSignature) -> bool:
+        """Verify a combined threshold signature."""
+        self._require(self.threshold_sig, "threshold signature scheme")
+        self._charge("tsig_verify", self.threshold_profile.verify_signature_ms)
+        return self.threshold_sig.verify_signature(message, signature)
+
+    # --------------------------------------------------------- common coin
+    def _coin_scheme(self, flavor: str) -> ThresholdCoinScheme:
+        if flavor == "flip":
+            self._require(self.coin_flip, "threshold coin-flipping scheme")
+            return self.coin_flip
+        self._require(self.threshold_coin, "threshold coin scheme")
+        return self.threshold_coin
+
+    def coin_share(self, tag: bytes, flavor: str = "tsig") -> CoinShare:
+        """Produce a coin share for the round tag."""
+        scheme = self._coin_scheme(flavor)
+        if flavor == "flip":
+            self._charge("coinflip_sign", self.threshold_profile.coin_sign_ms)
+        else:
+            self._charge("tsig_sign", self.threshold_profile.sign_share_ms)
+        return scheme.coin_share(tag, self.rng)
+
+    def coin_verify_share(self, tag: bytes, share: CoinShare,
+                          flavor: str = "tsig") -> bool:
+        """Verify a coin share."""
+        scheme = self._coin_scheme(flavor)
+        if flavor == "flip":
+            self._charge("coinflip_verify_share",
+                         self.threshold_profile.coin_verify_share_ms)
+        else:
+            self._charge("tsig_verify_share", self.threshold_profile.verify_share_ms)
+        return scheme.verify_share(tag, share)
+
+    def coin_combine(self, tag: bytes, shares: Iterable[CoinShare],
+                     flavor: str = "tsig") -> int:
+        """Reveal the coin bit."""
+        scheme = self._coin_scheme(flavor)
+        if flavor == "flip":
+            self._charge("coinflip_combine", self.threshold_profile.coin_combine_ms)
+        else:
+            self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
+        return scheme.combine(tag, shares)
+
+    def coin_combine_value(self, tag: bytes, shares: Iterable[CoinShare],
+                           modulus: int, flavor: str = "tsig") -> int:
+        """Reveal a wide pseudorandom value (used for Dumbo's global pi)."""
+        scheme = self._coin_scheme(flavor)
+        if flavor == "flip":
+            self._charge("coinflip_combine", self.threshold_profile.coin_combine_ms)
+        else:
+            self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
+        return scheme.combine_value(tag, shares, modulus)
+
+    # -------------------------------------------------- threshold encryption
+    def encrypt(self, plaintext: bytes, label: bytes) -> Ciphertext:
+        """Threshold-encrypt a proposal."""
+        self._require(self.threshold_enc, "threshold encryption scheme")
+        self._charge("tenc_encrypt", self.threshold_profile.sign_share_ms)
+        return self.threshold_enc.encrypt(plaintext, label, self.rng)
+
+    def decryption_share(self, ciphertext: Ciphertext) -> DecryptionShare:
+        """Produce a decryption share."""
+        self._require(self.threshold_enc, "threshold encryption scheme")
+        self._charge("tenc_share", self.threshold_profile.sign_share_ms)
+        return self.threshold_enc.decryption_share(ciphertext, self.rng)
+
+    def verify_decryption_share(self, ciphertext: Ciphertext,
+                                share: DecryptionShare) -> bool:
+        """Verify a decryption share."""
+        self._require(self.threshold_enc, "threshold encryption scheme")
+        self._charge("tenc_verify_share", self.threshold_profile.verify_share_ms)
+        return self.threshold_enc.verify_share(ciphertext, share)
+
+    def decrypt(self, ciphertext: Ciphertext,
+                shares: Iterable[DecryptionShare]) -> bytes:
+        """Combine decryption shares and recover the plaintext."""
+        self._require(self.threshold_enc, "threshold encryption scheme")
+        self._charge("tenc_combine", self.threshold_profile.combine_share_ms)
+        return self.threshold_enc.combine(ciphertext, shares)
+
+    # ------------------------------------------------------------------ misc
+    @staticmethod
+    def _require(scheme, description: str) -> None:
+        if scheme is None:
+            raise RuntimeError(f"this CryptoSuite was built without a {description}")

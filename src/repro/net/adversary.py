@@ -1,0 +1,73 @@
+"""The asynchronous adversary: delays, reordering and Byzantine node control.
+
+Section III-A of the paper adopts the standard asynchronous model: message
+delays between nodes are unbounded (but honest-to-honest messages are
+eventually delivered), the adversary may reorder deliveries, and up to ``f``
+of the ``N = 3f + 1`` nodes are Byzantine.
+
+In the simulator the adversary manifests in two places:
+
+* the :class:`DelayModel` adds per-link delivery delays (random jitter plus
+  targeted extra delay on chosen sender/receiver pairs), which exercises the
+  protocols' timing-assumption-free design; and
+* the :class:`AsyncAdversary` records which nodes are Byzantine; their
+  *behaviour* (silence, equivocation, adversarial votes) is implemented by
+  the strategies in :mod:`repro.testbed.byzantine` and plugged into the
+  protocol layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class DelayModel:
+    """Per-link delivery delay model.
+
+    ``base_jitter_s`` is the mean of an exponential jitter applied to every
+    delivery; ``targeted`` maps ``(sender, receiver)`` pairs to an extra fixed
+    delay (the adversary "arbitrarily prolonging the delay between messages of
+    two nodes"); ``max_delay_s`` caps the total so honest messages are
+    eventually delivered, as the model requires.
+    """
+
+    base_jitter_s: float = 0.005
+    targeted: dict[tuple[int, int], float] = field(default_factory=dict)
+    max_delay_s: float = 30.0
+
+    def delay(self, sender: int, receiver: int, rng) -> float:
+        """Extra delivery delay for one frame on the (sender, receiver) link."""
+        jitter = rng.expovariate(1.0 / self.base_jitter_s) if self.base_jitter_s > 0 else 0.0
+        extra = self.targeted.get((sender, receiver), 0.0)
+        return min(jitter + extra, self.max_delay_s)
+
+
+class AsyncAdversary:
+    """Tracks the Byzantine node set and owns the delivery-delay model."""
+
+    def __init__(self, byzantine: Optional[set[int]] = None,
+                 delay_model: Optional[DelayModel] = None) -> None:
+        self.byzantine: set[int] = set(byzantine or set())
+        self.delay_model = delay_model or DelayModel()
+
+    def is_byzantine(self, node_id: int) -> bool:
+        """True if ``node_id`` is under adversarial control."""
+        return node_id in self.byzantine
+
+    def corrupt(self, node_id: int) -> None:
+        """Add a node to the Byzantine set."""
+        self.byzantine.add(node_id)
+
+    def delivery_delay(self, sender: int, receiver: int, rng) -> float:
+        """Delay added to one frame delivery (called by the channel)."""
+        return self.delay_model.delay(sender, receiver, rng)
+
+    def target_link(self, sender: int, receiver: int, extra_delay_s: float) -> None:
+        """Make the adversary slow down a specific link."""
+        self.delay_model.targeted[(sender, receiver)] = extra_delay_s
+
+    def num_byzantine(self) -> int:
+        """Size of the Byzantine set."""
+        return len(self.byzantine)

@@ -1,0 +1,68 @@
+"""Radio/PHY model: airtime and frame parameters.
+
+The paper's testbed uses LoRa radios on STM32F767 boards with the transmit
+range limited to about a metre; consensus latencies are in the tens of
+seconds because LoRa airtime dominates.  The radio model reduces the PHY to
+what the consensus experiments are sensitive to:
+
+* ``bitrate_bps``     -- payload bitrate,
+* ``preamble_s``      -- fixed per-frame overhead (preamble + PHY header),
+* ``max_payload_bytes`` -- maximum payload per frame; larger packets are sent
+  as multiple fragments, each paying the preamble overhead and counting as an
+  additional channel access (Section IV-A: INITIAL-phase proposals span
+  multiple packets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Parameters of the radio used by every node on a channel."""
+
+    name: str
+    bitrate_bps: float
+    preamble_s: float
+    max_payload_bytes: int
+    #: processing delay added per received frame before the DMA buffer sees it
+    rx_turnaround_s: float = 0.002
+
+    def fragments(self, size_bytes: int) -> int:
+        """Number of PHY frames needed to carry ``size_bytes`` of payload."""
+        if size_bytes <= 0:
+            return 1
+        return max(1, math.ceil(size_bytes / self.max_payload_bytes))
+
+    def airtime(self, size_bytes: int) -> float:
+        """Time on air for a packet of ``size_bytes`` (all fragments)."""
+        fragments = self.fragments(size_bytes)
+        payload_time = (max(size_bytes, 1) * 8.0) / self.bitrate_bps
+        return fragments * self.preamble_s + payload_time
+
+
+#: LoRa SF7 / 125 kHz: ~5.5 kbit/s, the paper's resource-constrained setting.
+LORA_SF7_125KHZ = RadioConfig(
+    name="lora-sf7-125k",
+    bitrate_bps=5470.0,
+    preamble_s=0.025,
+    max_payload_bytes=222,
+)
+
+#: LoRa SF7 / 250 kHz: roughly twice as fast; used for sensitivity analyses.
+LORA_FAST = RadioConfig(
+    name="lora-sf7-250k",
+    bitrate_bps=10940.0,
+    preamble_s=0.015,
+    max_payload_bytes=222,
+)
+
+#: A Wi-Fi-like radio (1 Mbit/s, large frames) for what-if comparisons.
+WIFI_LIKE = RadioConfig(
+    name="wifi-1mbps",
+    bitrate_bps=1_000_000.0,
+    preamble_s=0.0005,
+    max_payload_bytes=1500,
+)

@@ -1,0 +1,87 @@
+"""Reliability mechanisms: NACK-based (the paper's choice) and ACK-based.
+
+Section IV-B.1 argues that NACK-based reliability fits asynchronous wireless
+BFT consensus: nodes progress when they have collected enough votes, not when
+senders have collected acknowledgements, and a broadcast only costs one
+transmission instead of ``N + 1``.  ConsensusBatcher therefore embeds NACK
+bitmaps in every packet.
+
+These helpers track, per consensus instance and phase, what a node has
+received (so it can advertise what it is still missing) and -- in ACK mode --
+which receivers have confirmed reception (so the overhead of ACKs can be
+measured for comparison).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ReliabilityMode(enum.Enum):
+    """Which reliability mechanism the transport uses."""
+
+    NACK = "nack"
+    ACK = "ack"
+
+
+@dataclass
+class NackState:
+    """Tracks received contributions per (instance, phase) and exposes gaps.
+
+    ``expected_senders`` is the set of peers a node expects contributions from
+    (normally every other node); ``needed`` reports instances/phases where the
+    quorum has not yet been reached, which is exactly the information the
+    compressed NACK field of ConsensusBatcher advertises (one bit per
+    instance, Section IV-C.1).
+    """
+
+    num_instances: int
+    expected_senders: frozenset[int]
+    quorum: int
+    received: dict[tuple[int, str], set[int]] = field(default_factory=dict)
+
+    def record(self, instance: int, phase: str, sender: int) -> None:
+        """Note that ``sender``'s contribution for (instance, phase) arrived."""
+        self.received.setdefault((instance, phase), set()).add(sender)
+
+    def have(self, instance: int, phase: str) -> int:
+        """Number of distinct contributions received for (instance, phase)."""
+        return len(self.received.get((instance, phase), set()))
+
+    def satisfied(self, instance: int, phase: str) -> bool:
+        """True once the quorum for (instance, phase) has been reached."""
+        return self.have(instance, phase) >= self.quorum
+
+    def nack_bitmap(self, phase: str) -> list[bool]:
+        """One bit per instance: True = still missing the quorum (needs resend)."""
+        return [not self.satisfied(instance, phase)
+                for instance in range(self.num_instances)]
+
+    def missing_senders(self, instance: int, phase: str) -> set[int]:
+        """Which expected senders have not contributed to (instance, phase)."""
+        return set(self.expected_senders) - self.received.get((instance, phase), set())
+
+
+@dataclass
+class AckState:
+    """Tracks acknowledgements in ACK mode (used only for comparison benches)."""
+
+    expected_receivers: frozenset[int]
+    acked: dict[int, set[int]] = field(default_factory=dict)
+
+    def record_ack(self, message_id: int, receiver: int) -> None:
+        """Record that ``receiver`` acknowledged ``message_id``."""
+        self.acked.setdefault(message_id, set()).add(receiver)
+
+    def fully_acked(self, message_id: int) -> bool:
+        """True when every expected receiver has acknowledged."""
+        return self.acked.get(message_id, set()) >= self.expected_receivers
+
+    def pending(self, message_id: int) -> set[int]:
+        """Receivers that have not yet acknowledged ``message_id``."""
+        return set(self.expected_receivers) - self.acked.get(message_id, set())
+
+    def messages_required(self, num_receivers: int) -> int:
+        """Messages needed for one reliable broadcast under ACK (paper: N + 1)."""
+        return num_receivers + 1

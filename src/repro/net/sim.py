@@ -1,0 +1,249 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every experiment in this reproduction runs on virtual time.  The kernel is a
+plain binary-heap event queue with a monotonically increasing sequence number
+used to break ties, which makes runs fully deterministic for a given seed and
+schedule of calls.
+
+The kernel deliberately stays tiny: processes are modelled as callbacks, and
+higher-level abstractions (timers, periodic timers) are provided as thin
+wrappers.  Components and protocols never block; they react to delivered
+events, which matches the asynchronous message-passing model of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an invalid state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so the heap pops them in timestamp order
+    with FIFO tie-breaking.  Cancelled events stay in the heap but are skipped
+    when popped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with virtual time and a deterministic RNG.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned :class:`random.Random`.  All stochastic
+        choices in the network substrate (backoff slots, jitter, adversarial
+        delays) draw from this RNG so that a run is reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._events_processed
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=next(self._seq),
+                      callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before current time {self._now}")
+        event = Event(time=when, seq=next(self._seq), callback=callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule(0.0, callback, label=label)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        Returns the virtual time at which the run stopped.
+        """
+        self._running = True
+        processed_this_run = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self._events_processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  check_interval: float = 0.5) -> bool:
+        """Run until ``predicate()`` is true or ``timeout`` virtual seconds pass.
+
+        The predicate is evaluated after every processed event.  Returns True
+        if the predicate became true, False on timeout or queue exhaustion.
+        """
+        deadline = self._now + timeout
+        if predicate():
+            return True
+        while self._queue:
+            event = self._queue[0]
+            if event.time > deadline:
+                self._now = deadline
+                return predicate()
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            if predicate():
+                return True
+        return predicate()
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    Asynchronous BFT consensus in wireless networks relies on retransmission
+    timers to make progress (Section IV-A of the paper); this helper keeps the
+    bookkeeping (cancel/restart) in one place.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None],
+                 label: str = "timer") -> None:
+        self._sim = sim
+        self._callback = callback
+        self._label = label
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True if the timer is currently scheduled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire, label=self._label)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A timer that re-fires every ``interval`` seconds until stopped.
+
+    Optional jitter (a fraction of the interval drawn uniformly) desynchronises
+    periodic retransmissions across nodes, which matters on a shared channel.
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], None], jitter: float = 0.0,
+                 label: str = "periodic") -> None:
+        if interval <= 0:
+            raise SimulationError("periodic timer interval must be positive")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._label = label
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic timer is active."""
+        return not self._stopped
+
+    def start(self) -> None:
+        """Start (or restart) the periodic firing."""
+        self._stopped = False
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop firing."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _schedule_next(self) -> None:
+        delay = self.interval
+        if self._jitter > 0:
+            delay += self._sim.rng.uniform(0, self._jitter * self.interval)
+        self._event = self._sim.schedule(delay, self._fire, label=self._label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._schedule_next()

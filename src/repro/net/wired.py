@@ -1,0 +1,42 @@
+"""A simple wired-network cost model used as the Table I reference point.
+
+The paper compares message overhead per node in three settings: wired
+networks (every broadcast costs ``N - 1`` unicasts over dedicated links),
+the wireless baseline (a broadcast costs one transmission thanks to the
+shared channel) and ConsensusBatcher (N parallel components share one
+transmission).  This module provides the wired reference: per-link latency /
+bandwidth and the unicast fan-out cost of a broadcast, so benchmarks can
+compute the wired column of Table I and sanity-check latency intuitions
+("why wired HoneyBadgerBFT does not congest").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WiredNetworkModel:
+    """Point-to-point wired network with dedicated full-duplex links."""
+
+    link_latency_s: float = 0.002
+    bandwidth_bps: float = 100_000_000.0
+
+    def unicast_time(self, size_bytes: int) -> float:
+        """Time to deliver one unicast message."""
+        return self.link_latency_s + (size_bytes * 8.0) / self.bandwidth_bps
+
+    def broadcast_messages(self, num_nodes: int) -> int:
+        """Messages a node must send to broadcast to ``num_nodes - 1`` peers."""
+        return max(0, num_nodes - 1)
+
+    def broadcast_time(self, num_nodes: int, size_bytes: int) -> float:
+        """Time to complete a broadcast, assuming parallel dedicated links.
+
+        Wired links are independent, so the broadcast completes after one
+        unicast time; the *message count* is still ``N - 1``, which is the
+        quantity Table I tracks.
+        """
+        if num_nodes <= 1:
+            return 0.0
+        return self.unicast_time(size_bytes)

@@ -1,0 +1,147 @@
+"""Shared protocol plumbing: configuration, batch encoding, the base class.
+
+A consensus protocol instance lives on one node, is identified by an epoch
+``tag``, consumes a proposal (a batch of transactions) via :meth:`propose`,
+exchanges component messages through the node's transport/router, and
+eventually calls its ``on_decide`` callback with the agreed block (a list of
+transactions in a canonical order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.components.base import ComponentContext, ComponentRouter
+
+DecideCallback = Callable[[list[bytes]], None]
+
+#: canonical names accepted by the testbed harness
+PROTOCOL_NAMES = (
+    "honeybadger-sc",
+    "honeybadger-lc",
+    "beat",
+    "dumbo-sc",
+    "dumbo-lc",
+)
+
+
+class ProtocolName:
+    """Parsing/validation helpers for protocol names."""
+
+    @staticmethod
+    def validate(name: str) -> str:
+        """Return the canonical name or raise ``ValueError``."""
+        canonical = name.strip().lower()
+        if canonical not in PROTOCOL_NAMES:
+            raise ValueError(
+                f"unknown protocol {name!r}; known: {PROTOCOL_NAMES}")
+        return canonical
+
+    @staticmethod
+    def family(name: str) -> str:
+        """The protocol family: honeybadger, beat or dumbo."""
+        return ProtocolName.validate(name).split("-")[0]
+
+    @staticmethod
+    def coin(name: str) -> str:
+        """The coin type: ``sc`` (shared), ``lc`` (local) or ``cp`` (coin flip)."""
+        canonical = ProtocolName.validate(name)
+        if canonical == "beat":
+            return "cp"
+        return canonical.split("-")[1]
+
+
+@dataclass(frozen=True)
+class ConsensusConfig:
+    """Per-run protocol configuration."""
+
+    #: epoch identifier (becomes the component tag)
+    epoch: Any = 0
+    #: whether proposals are threshold-encrypted (HoneyBadgerBFT / BEAT)
+    use_threshold_encryption: bool = True
+    #: cap on ABA rounds (safety net for bounded experiments)
+    max_aba_rounds: int = 64
+
+
+# --------------------------------------------------------------------------
+# Transaction batch encoding: a deliberately simple, dependency-free format.
+# --------------------------------------------------------------------------
+
+def encode_batch(transactions: list[bytes]) -> bytes:
+    """Serialise a list of transactions into a single proposal payload."""
+    parts = [len(transactions).to_bytes(4, "big")]
+    for transaction in transactions:
+        parts.append(len(transaction).to_bytes(4, "big"))
+        parts.append(transaction)
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> list[bytes]:
+    """Inverse of :func:`encode_batch`."""
+    if len(payload) < 4:
+        raise ValueError("truncated batch payload")
+    count = int.from_bytes(payload[:4], "big")
+    offset = 4
+    transactions = []
+    for _ in range(count):
+        if offset + 4 > len(payload):
+            raise ValueError("truncated batch payload")
+        length = int.from_bytes(payload[offset:offset + 4], "big")
+        offset += 4
+        if offset + length > len(payload):
+            raise ValueError("truncated batch payload")
+        transactions.append(payload[offset:offset + length])
+        offset += length
+    return transactions
+
+
+def block_digest(block: list[bytes]) -> str:
+    """Canonical digest of a decided block (for agreement checks)."""
+    digest = hashlib.sha256()
+    for transaction in block:
+        digest.update(len(transaction).to_bytes(4, "big"))
+        digest.update(transaction)
+    return digest.hexdigest()
+
+
+class ConsensusProtocol:
+    """Base class for the per-node protocol instances."""
+
+    name = "abstract"
+
+    def __init__(self, ctx: ComponentContext, router: ComponentRouter,
+                 config: Optional[ConsensusConfig] = None,
+                 on_decide: Optional[DecideCallback] = None) -> None:
+        self.ctx = ctx
+        self.router = router
+        self.config = config or ConsensusConfig()
+        self.on_decide = on_decide
+        self.decided = False
+        self.block: Optional[list[bytes]] = None
+        self.decide_time: Optional[float] = None
+        self.started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------- API
+    def propose(self, transactions: list[bytes]) -> None:  # pragma: no cover
+        """Provide this node's transaction batch and start the protocol."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- decide
+    def _finish(self, block: list[bytes]) -> None:
+        if self.decided:
+            return
+        self.decided = True
+        self.block = block
+        self.decide_time = self.ctx.sim.now
+        if self.on_decide is not None:
+            self.on_decide(block)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def latency(self) -> Optional[float]:
+        """Seconds from :meth:`propose` to decision (None until decided)."""
+        if self.decide_time is None or self.started_at is None:
+            return None
+        return self.decide_time - self.started_at

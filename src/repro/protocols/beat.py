@@ -1,0 +1,31 @@
+"""BEAT0 adapted to wireless networks.
+
+BEAT is a family of protocols built on HoneyBadgerBFT by substituting more
+efficient components; the paper focuses on BEAT0's replacement of threshold
+signatures with threshold *coin flipping* for the ABA common coin, which does
+not change the protocol structure (Section III-B.3).  :class:`Beat` therefore
+reuses :class:`~repro.protocols.honeybadger.HoneyBadger` with the ``cp`` coin,
+wiring the ABA instances to the cheaper coin-flipping cost profile and adding
+the extra verification data in the SHARE phase through that coin's share
+payload size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.components.base import ComponentContext, ComponentRouter
+from repro.protocols.base import ConsensusConfig, DecideCallback
+from repro.protocols.honeybadger import HoneyBadger
+
+
+class Beat(HoneyBadger):
+    """One node's BEAT0 instance for one epoch."""
+
+    name = "beat"
+
+    def __init__(self, ctx: ComponentContext, router: ComponentRouter,
+                 config: Optional[ConsensusConfig] = None,
+                 on_decide: Optional[DecideCallback] = None) -> None:
+        super().__init__(ctx, router, coin="cp", config=config,
+                         on_decide=on_decide)

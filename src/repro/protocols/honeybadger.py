@@ -1,0 +1,181 @@
+"""HoneyBadgerBFT adapted to wireless networks (Fig. 7a).
+
+Per epoch, every node:
+
+1. threshold-encrypts its transaction batch (censorship resilience),
+2. contributes the ciphertext to an Asynchronous Common Subset built from N
+   parallel RBC instances and N parallel ABA instances,
+3. once the subset is fixed, broadcasts decryption shares for every included
+   ciphertext, and
+4. decrypts with ``f + 1`` shares and outputs the union of the decrypted
+   batches in a canonical order.
+
+Two variants are provided, matching the paper's testbed:
+
+* ``HoneyBadger(coin="sc")`` -- shared-coin ABA (ABA-SC, threshold signatures);
+* ``HoneyBadger(coin="lc")`` -- local-coin ABA (ABA-LC, Bracha's protocol).
+
+BEAT0 (:class:`repro.protocols.beat.Beat`) reuses this class with the
+threshold coin-flipping ABA (ABA-CP).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.components.aba_bracha import BrachaAba
+from repro.components.aba_cachin import CachinAba
+from repro.components.aba_coinflip import CoinFlipAba
+from repro.components.base import ComponentContext, ComponentRouter
+from repro.components.common_coin import CommonCoinManager
+from repro.components.rbc import BrachaRbc
+from repro.core.packet import ComponentMessage
+from repro.crypto.threshold_enc import ciphertext_from_bytes, ciphertext_to_bytes
+from repro.protocols.acs import CommonSubset
+from repro.protocols.base import (
+    ConsensusConfig,
+    ConsensusProtocol,
+    DecideCallback,
+    decode_batch,
+    encode_batch,
+)
+
+
+class HoneyBadger(ConsensusProtocol):
+    """One node's HoneyBadgerBFT instance for one epoch."""
+
+    name = "honeybadger"
+    DEC_KIND = "acs_dec"
+
+    def __init__(self, ctx: ComponentContext, router: ComponentRouter,
+                 coin: str = "sc",
+                 config: Optional[ConsensusConfig] = None,
+                 on_decide: Optional[DecideCallback] = None) -> None:
+        super().__init__(ctx, router, config, on_decide)
+        if coin not in ("sc", "lc", "cp"):
+            raise ValueError(f"unknown coin type {coin!r}; expected sc, lc or cp")
+        self.coin_type = coin
+        self.tag = ("hb", self.config.epoch)
+        self.coin_manager: Optional[CommonCoinManager] = None
+        if coin in ("sc", "cp"):
+            flavor = "tsig" if coin == "sc" else "flip"
+            self.coin_manager = CommonCoinManager(ctx, tag=self.tag,
+                                                  flavor=flavor, coin_name="hb")
+            router.register_kind_handler("coin", self.tag, self.coin_manager.handle)
+        router.register_kind_handler(self.DEC_KIND, self.tag, self._on_dec_share)
+        self.acs = CommonSubset(
+            ctx, router, self.tag,
+            rbc_factory=lambda index: BrachaRbc(ctx, index, tag=self.tag),
+            aba_factory=self._make_aba,
+            on_output=self._on_acs_output)
+        self._acs_output: Optional[dict[int, bytes]] = None
+        self._dec_shares: dict[int, dict[int, Any]] = {}
+        self._ciphertexts: dict[int, Any] = {}
+        self._decrypted: dict[int, list[bytes]] = {}
+        self._dec_share_sent = False
+
+    # ------------------------------------------------------------- components
+    def _make_aba(self, index: int):
+        if self.coin_type == "lc":
+            return BrachaAba(self.ctx, index, tag=self.tag,
+                             max_rounds=self.config.max_aba_rounds)
+        aba_class = CachinAba if self.coin_type == "sc" else CoinFlipAba
+        return aba_class(self.ctx, index, coin=self.coin_manager, tag=self.tag,
+                         max_rounds=self.config.max_aba_rounds)
+
+    # ------------------------------------------------------------------- API
+    def propose(self, transactions: list[bytes]) -> None:
+        """Encrypt and contribute this node's transaction batch."""
+        self.started_at = self.ctx.sim.now
+        payload = encode_batch(transactions)
+        if self.config.use_threshold_encryption:
+            label = f"hb|{self.config.epoch}|{self.ctx.node_id}".encode()
+            ciphertext = self.ctx.suite.encrypt(payload, label)
+            value = ciphertext_to_bytes(ciphertext)
+        else:
+            value = payload
+        self.acs.propose(value)
+
+    # ------------------------------------------------------------- ACS output
+    def _on_acs_output(self, output: dict[int, bytes]) -> None:
+        self._acs_output = output
+        if not self.config.use_threshold_encryption:
+            self._assemble_plain_block(output)
+            return
+        for index, value in output.items():
+            self._ciphertexts[index] = ciphertext_from_bytes(value)
+        self._broadcast_dec_shares()
+        self._maybe_decrypt_all()
+
+    def _assemble_plain_block(self, output: dict[int, bytes]) -> None:
+        block: list[bytes] = []
+        for index in sorted(output):
+            block.extend(decode_batch(output[index]))
+        self._finish(_dedupe(block))
+
+    # ------------------------------------------------------ threshold decrypt
+    def _broadcast_dec_shares(self) -> None:
+        if self._dec_share_sent or self._acs_output is None:
+            return
+        self._dec_share_sent = True
+        for index, ciphertext in self._ciphertexts.items():
+            self.ctx.transport.activate(self.DEC_KIND, self.tag, index)
+            share = self.ctx.suite.decryption_share(ciphertext)
+            self._dec_shares.setdefault(index, {})[self.ctx.node_id] = share
+            message = ComponentMessage(
+                kind=self.DEC_KIND, instance=index, phase="share",
+                sender=self.ctx.node_id, payload={"share": share},
+                share_bytes=self.ctx.suite.threshold_share_bytes, tag=self.tag)
+            self.ctx.transport.send(message)
+
+    def _on_dec_share(self, message: ComponentMessage) -> None:
+        if message.phase != "share":
+            return
+        index = message.instance
+        share = message.payload.get("share")
+        if share is None:
+            return
+        shares = self._dec_shares.setdefault(index, {})
+        if message.sender in shares:
+            return
+        shares[message.sender] = share
+        self._maybe_decrypt_all()
+
+    def _maybe_decrypt_all(self) -> None:
+        if self.decided or self._acs_output is None:
+            return
+        for index, ciphertext in self._ciphertexts.items():
+            if index in self._decrypted:
+                continue
+            shares = self._dec_shares.get(index, {})
+            valid = []
+            for sender, share in shares.items():
+                if sender == self.ctx.node_id:
+                    valid.append(share)
+                elif self.ctx.suite.verify_decryption_share(ciphertext, share):
+                    valid.append(share)
+            if len(valid) < self.ctx.small_quorum:
+                continue
+            payload = self.ctx.suite.decrypt(ciphertext, valid)
+            try:
+                self._decrypted[index] = decode_batch(payload)
+            except ValueError:
+                # A Byzantine proposer contributed garbage; include nothing.
+                self._decrypted[index] = []
+            self.ctx.transport.mark_complete(self.DEC_KIND, self.tag, index)
+        if len(self._decrypted) == len(self._ciphertexts):
+            block: list[bytes] = []
+            for index in sorted(self._decrypted):
+                block.extend(self._decrypted[index])
+            self._finish(_dedupe(block))
+
+
+def _dedupe(transactions: list[bytes]) -> list[bytes]:
+    """Drop duplicate transactions while keeping the canonical order."""
+    seen: set[bytes] = set()
+    unique = []
+    for transaction in sorted(transactions):
+        if transaction not in seen:
+            seen.add(transaction)
+            unique.append(transaction)
+    return unique

@@ -1,0 +1,94 @@
+"""Multi-hop (clustered) consensus: local consensus + leader-level global consensus.
+
+Section V-B: the network is divided into clusters, each a single-hop network.
+A two-phase approach -- akin to blockchain sharding -- runs local consensus in
+parallel inside every cluster; once a cluster decides, a (changeable) cluster
+leader carries the cluster's decided block into a *global* consensus among the
+cluster leaders, which orders all clusters' proposals.  Local consensus keeps
+safety and liveness as long as fewer than one third of each cluster is
+Byzantine; a faulty leader can be detected and replaced by its cluster because
+every cluster member knows the locally decided block.
+
+The networking (per-cluster channels + a routed backbone channel for the
+leaders) is assembled by the testbed harness; this module holds the
+protocol-level pieces: leader selection, encoding of a cluster's contribution
+to the global consensus and the combined result record.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.topology import Cluster
+from repro.protocols.base import block_digest, decode_batch, encode_batch
+
+
+def select_leader(cluster: Cluster, epoch: int, excluded: frozenset[int] = frozenset()) -> int:
+    """Deterministically select a cluster leader for ``epoch``.
+
+    The paper randomly selects a changeable leader; determinism (seeded by the
+    epoch) keeps simulation runs reproducible while preserving the property
+    that a misbehaving leader can be rotated out (pass its id in ``excluded``).
+    """
+    candidates = [node_id for node_id in cluster.node_ids if node_id not in excluded]
+    if not candidates:
+        raise ValueError(f"cluster {cluster.index} has no eligible leader")
+    seed = int.from_bytes(
+        hashlib.sha256(f"leader|{cluster.index}|{epoch}".encode()).digest(), "big")
+    return candidates[seed % len(candidates)]
+
+
+def encode_cluster_contribution(cluster_index: int, block: list[bytes]) -> bytes:
+    """Serialise a cluster's locally decided block for the global consensus."""
+    header = cluster_index.to_bytes(4, "big")
+    return header + encode_batch(block)
+
+
+def decode_cluster_contribution(payload: bytes) -> tuple[int, list[bytes]]:
+    """Inverse of :func:`encode_cluster_contribution`."""
+    if len(payload) < 4:
+        raise ValueError("truncated cluster contribution")
+    cluster_index = int.from_bytes(payload[:4], "big")
+    return cluster_index, decode_batch(payload[4:])
+
+
+@dataclass
+class ClusterOutcome:
+    """Result of one cluster's local consensus."""
+
+    cluster_index: int
+    leader: int
+    block: list[bytes] = field(default_factory=list)
+    decide_time: Optional[float] = None
+
+    @property
+    def decided(self) -> bool:
+        """True once the cluster's local consensus has decided."""
+        return self.decide_time is not None
+
+    @property
+    def digest(self) -> str:
+        """Canonical digest of the cluster's block."""
+        return block_digest(self.block)
+
+
+@dataclass
+class MultiHopResult:
+    """Combined result of a multi-hop consensus run."""
+
+    local: dict[int, ClusterOutcome] = field(default_factory=dict)
+    global_block: list[bytes] = field(default_factory=list)
+    global_decide_time: Optional[float] = None
+    ordered_clusters: list[int] = field(default_factory=list)
+
+    @property
+    def decided(self) -> bool:
+        """True once the global consensus has decided."""
+        return self.global_decide_time is not None
+
+    @property
+    def total_transactions(self) -> int:
+        """Transactions committed by the global consensus."""
+        return len(self.global_block)

@@ -1,0 +1,48 @@
+"""The asynchronous wireless BFT consensus testbed (Section V-C).
+
+The testbed glues the network substrate, the cryptographic module, the
+consensus components and the consensus protocols into runnable experiments:
+
+* :mod:`~repro.testbed.scenarios` -- deployment descriptions (single-hop four
+  nodes, multi-hop sixteen nodes in four clusters, radio/MAC/crypto knobs);
+* :mod:`~repro.testbed.workload`  -- transaction workload generators;
+* :mod:`~repro.testbed.byzantine` -- fault/attack strategies for up to ``f``
+  nodes per cluster;
+* :mod:`~repro.testbed.harness`   -- builds deployments and runs consensus,
+  broadcast-component and ABA experiments, batched or baseline;
+* :mod:`~repro.testbed.metrics`   -- latency / throughput (TPM) / overhead
+  metrics extracted from runs;
+* :mod:`~repro.testbed.reporting` -- table/figure formatting used by the
+  benchmark harness under ``benchmarks/``.
+"""
+
+from repro.testbed.scenarios import Scenario
+from repro.testbed.workload import TransactionWorkload, WorkloadSpec
+from repro.testbed.byzantine import ByzantineSpec, BYZANTINE_STRATEGIES
+from repro.testbed.metrics import ConsensusRunResult, ComponentRunResult, summarize_latencies
+from repro.testbed.harness import (
+    Deployment,
+    run_consensus,
+    run_multihop_consensus,
+    run_broadcast_experiment,
+    run_aba_experiment,
+)
+from repro.testbed.reporting import format_table, improvement_percent
+
+__all__ = [
+    "Scenario",
+    "TransactionWorkload",
+    "WorkloadSpec",
+    "ByzantineSpec",
+    "BYZANTINE_STRATEGIES",
+    "ConsensusRunResult",
+    "ComponentRunResult",
+    "summarize_latencies",
+    "Deployment",
+    "run_consensus",
+    "run_multihop_consensus",
+    "run_broadcast_experiment",
+    "run_aba_experiment",
+    "format_table",
+    "improvement_percent",
+]

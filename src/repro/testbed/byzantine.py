@@ -1,0 +1,78 @@
+"""Byzantine fault strategies for testbed runs.
+
+Up to ``f`` nodes per (cluster-)instance can be assigned one of these
+strategies.  They exercise the standard failure modes the asynchronous model
+allows without modifying the honest protocol code:
+
+* ``crash``    -- the node is silent from the start (fail-stop);
+* ``late-crash`` -- the node participates for a while, then goes silent;
+* ``mute-proposer`` -- the node never proposes but otherwise follows the
+  protocol (its RBC instance never completes, so ACS must exclude it);
+* ``garbage-proposer`` -- the node proposes an undecodable payload (honest
+  nodes must still terminate and simply commit nothing for it);
+* ``slow-links`` -- the adversary adds large delays on all links from the
+  node (message-delay attack permitted by the asynchronous model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+BYZANTINE_STRATEGIES = (
+    "crash",
+    "late-crash",
+    "mute-proposer",
+    "garbage-proposer",
+    "slow-links",
+)
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """Assignment of strategies to node ids."""
+
+    assignments: dict[int, str] = field(default_factory=dict)
+    #: delay (seconds) injected by the ``slow-links`` strategy
+    slow_link_delay_s: float = 8.0
+    #: virtual time at which ``late-crash`` nodes go silent
+    late_crash_at_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        for node_id, strategy in self.assignments.items():
+            if strategy not in BYZANTINE_STRATEGIES:
+                raise ValueError(
+                    f"unknown Byzantine strategy {strategy!r} for node {node_id}; "
+                    f"known: {BYZANTINE_STRATEGIES}")
+
+    @classmethod
+    def none(cls) -> "ByzantineSpec":
+        """No Byzantine nodes."""
+        return cls(assignments={})
+
+    @classmethod
+    def crash_nodes(cls, node_ids: list[int]) -> "ByzantineSpec":
+        """Crash the given nodes from the start."""
+        return cls(assignments={node_id: "crash" for node_id in node_ids})
+
+    @property
+    def byzantine_ids(self) -> set[int]:
+        """Ids of all Byzantine nodes."""
+        return set(self.assignments)
+
+    def strategy_of(self, node_id: int) -> Optional[str]:
+        """The strategy assigned to ``node_id`` (None if honest)."""
+        return self.assignments.get(node_id)
+
+    def is_byzantine(self, node_id: int) -> bool:
+        """True if the node is Byzantine."""
+        return node_id in self.assignments
+
+    def proposes(self, node_id: int) -> bool:
+        """Whether the node submits a (possibly garbage) proposal."""
+        strategy = self.assignments.get(node_id)
+        return strategy not in ("crash", "mute-proposer")
+
+    def proposal_is_garbage(self, node_id: int) -> bool:
+        """Whether the node's proposal should be undecodable garbage."""
+        return self.assignments.get(node_id) == "garbage-proposer"

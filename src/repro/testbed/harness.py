@@ -1,0 +1,727 @@
+"""Deployment and experiment harness.
+
+The harness assembles a deployment from a :class:`~repro.testbed.scenarios.Scenario`
+(simulator, channels, nodes, cryptography, transports, routers), instantiates
+protocols or individual components on top of it, runs the simulation to
+completion and extracts metrics.  It is the programmatic equivalent of the
+paper's testbed: every figure-reproducing benchmark and every example program
+goes through these entry points:
+
+* :func:`run_consensus`            -- one epoch of a consensus protocol on a
+  single-hop deployment (Fig. 10d, Fig. 13a);
+* :func:`run_multihop_consensus`   -- the two-phase clustered construction
+  (Fig. 13b);
+* :func:`run_broadcast_experiment` -- N parallel broadcast-component instances
+  (Fig. 11a/11b);
+* :func:`run_aba_experiment`       -- parallel or serial ABA instances
+  (Fig. 12a/12b).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.components.aba_bracha import BrachaAba
+from repro.components.aba_cachin import CachinAba
+from repro.components.aba_coinflip import CoinFlipAba
+from repro.components.base import Component, ComponentContext, ComponentRouter
+from repro.components.cbc import Cbc
+from repro.components.cbc_small import CbcSmall
+from repro.components.common_coin import CommonCoinManager
+from repro.components.prbc import Prbc
+from repro.components.rbc import BrachaRbc
+from repro.components.rbc_small import RbcSmall
+from repro.core.batcher import (
+    BaseTransport,
+    BaselineTransport,
+    ConsensusBatcherTransport,
+    TransportConfig,
+)
+from repro.crypto.digital_sig import generate_keyring
+from repro.crypto.threshold_coin import deal_threshold_coin
+from repro.crypto.threshold_enc import deal_threshold_enc
+from repro.crypto.threshold_sig import deal_threshold_sig
+from repro.crypto.timing import CryptoSuite
+from repro.net.adversary import AsyncAdversary, DelayModel
+from repro.net.channel import WirelessChannel
+from repro.net.csma import CsmaMac
+from repro.net.node import NetworkNode
+from repro.net.routing import InterClusterRouting
+from repro.net.sim import Simulator
+from repro.net.topology import Cluster, faults_tolerated
+from repro.net.trace import NetworkTrace
+from repro.protocols.base import ConsensusConfig, ConsensusProtocol, ProtocolName
+from repro.protocols.beat import Beat
+from repro.protocols.dumbo import Dumbo
+from repro.protocols.honeybadger import HoneyBadger
+from repro.protocols.multihop import ClusterOutcome, MultiHopResult, select_leader
+from repro.testbed.byzantine import ByzantineSpec
+from repro.testbed.metrics import (
+    ComponentRunResult,
+    ConsensusRunResult,
+    MultiHopRunResult,
+)
+from repro.testbed.scenarios import Scenario
+from repro.testbed.workload import TransactionWorkload, WorkloadSpec
+
+
+def stable_seed(*parts) -> int:
+    """Derive a process-independent integer seed from arbitrary parts.
+
+    Python's built-in ``hash`` is salted per process, which would make runs
+    irreproducible across invocations; a CRC of the canonical repr is stable.
+    """
+    return zlib.crc32(repr(parts).encode()) & 0xFFFFFFFF
+
+
+class DeploymentError(RuntimeError):
+    """Raised when a deployment cannot be assembled or a run misbehaves."""
+
+
+# ---------------------------------------------------------------------------
+# crypto domains
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CryptoDomain:
+    """Key material for one consensus domain (a cluster, or the leader group)."""
+
+    num_nodes: int
+    faults: int
+    signing_keys: list
+    verify_keys: list
+    threshold_sig: list
+    threshold_coin: list
+    coin_flip: list
+    threshold_enc: list
+
+
+def deal_crypto_domain(num_nodes: int, rng: random.Random,
+                       signing_keys=None, verify_keys=None) -> CryptoDomain:
+    """Deal every scheme a consensus domain needs.
+
+    ``signing_keys`` / ``verify_keys`` may be passed in when the domain shares
+    the network-wide digital-signature keyring (multi-hop global domain).
+    """
+    faults = faults_tolerated(num_nodes)
+    if signing_keys is None or verify_keys is None:
+        signing_keys, verify_keys = generate_keyring(num_nodes, rng)
+    return CryptoDomain(
+        num_nodes=num_nodes,
+        faults=faults,
+        signing_keys=signing_keys,
+        verify_keys=verify_keys,
+        threshold_sig=deal_threshold_sig(num_nodes, 2 * faults + 1, rng),
+        threshold_coin=deal_threshold_coin(num_nodes, faults + 1, rng, flavor="tsig"),
+        coin_flip=deal_threshold_coin(num_nodes, faults + 1, rng, flavor="flip"),
+        threshold_enc=deal_threshold_enc(num_nodes, faults + 1, rng),
+    )
+
+
+# ---------------------------------------------------------------------------
+# deployments
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DomainRuntime:
+    """One node's per-domain runtime: context, transport and router."""
+
+    local_id: int
+    ctx: ComponentContext
+    transport: BaseTransport
+    router: ComponentRouter
+    protocol: Optional[ConsensusProtocol] = None
+    components: list[Component] = field(default_factory=list)
+
+
+@dataclass
+class Deployment:
+    """A fully assembled single-hop or multi-hop deployment."""
+
+    scenario: Scenario
+    sim: Simulator
+    trace: NetworkTrace
+    adversary: AsyncAdversary
+    channels: dict[str, WirelessChannel]
+    nodes: dict[int, NetworkNode]
+    #: per global node id, the runtime of its primary (cluster) domain
+    runtimes: dict[int, DomainRuntime]
+    #: multi-hop only: per leader node id, the runtime of the global domain
+    global_runtimes: dict[int, DomainRuntime] = field(default_factory=dict)
+    batched: bool = True
+
+    def honest_ids(self) -> list[int]:
+        """Global ids of honest nodes."""
+        byzantine = self.scenario.byzantine.byzantine_ids
+        return [node_id for node_id in self.nodes if node_id not in byzantine]
+
+    def shutdown(self) -> None:
+        """Stop transport timers (end of run)."""
+        for runtime in list(self.runtimes.values()) + list(self.global_runtimes.values()):
+            runtime.transport.shutdown()
+
+
+def _make_transport(batched: bool, node: NetworkNode, num_nodes: int,
+                    suite: CryptoSuite, trace: NetworkTrace,
+                    config: TransportConfig, local_id: int) -> BaseTransport:
+    transport_class = ConsensusBatcherTransport if batched else BaselineTransport
+    return transport_class(node, num_nodes, suite, trace, config,
+                           local_id=local_id)
+
+
+def _apply_byzantine_network_behaviour(deployment: Deployment) -> None:
+    """Apply strategies that act at the network level (crash, delays)."""
+    scenario = deployment.scenario
+    spec = scenario.byzantine
+    for node_id, strategy in spec.assignments.items():
+        node = deployment.nodes.get(node_id)
+        if node is None:
+            continue
+        if strategy == "crash":
+            node.crash()
+        elif strategy == "late-crash":
+            deployment.sim.schedule(spec.late_crash_at_s, node.crash,
+                                    label=f"late-crash:{node_id}")
+        elif strategy == "slow-links":
+            for other_id in deployment.nodes:
+                if other_id != node_id:
+                    deployment.adversary.target_link(node_id, other_id,
+                                                     spec.slow_link_delay_s)
+
+
+def build_deployment(scenario: Scenario, batched: bool = True,
+                     seed: int = 0) -> Deployment:
+    """Assemble nodes, channels, crypto and transports for a scenario."""
+    sim = Simulator(seed=seed)
+    trace = NetworkTrace()
+    adversary = AsyncAdversary(
+        byzantine=set(scenario.byzantine.byzantine_ids),
+        delay_model=DelayModel(base_jitter_s=scenario.link_jitter_s))
+    setup_rng = random.Random(seed ^ 0x5EED)
+
+    channels: dict[str, WirelessChannel] = {}
+    for cluster in scenario.topology.clusters:
+        channels[cluster.channel_name] = WirelessChannel(
+            sim, scenario.radio, trace, name=cluster.channel_name,
+            adversary=adversary)
+    backbone_name = scenario.topology.global_channel_name
+    routing: Optional[InterClusterRouting] = None
+    if scenario.is_multi_hop and backbone_name is not None:
+        routing = InterClusterRouting(scenario.topology)
+        channels[backbone_name] = WirelessChannel(
+            sim, scenario.radio, trace, name=backbone_name, adversary=adversary,
+            per_hop_forward_s=scenario.per_hop_forward_s)
+
+    nodes: dict[int, NetworkNode] = {}
+    runtimes: dict[int, DomainRuntime] = {}
+    global_runtimes: dict[int, DomainRuntime] = {}
+
+    # --- per-cluster (local) domains -------------------------------------
+    for cluster in scenario.topology.clusters:
+        domain_rng = random.Random(stable_seed(seed, "cluster", cluster.index))
+        domain = deal_crypto_domain(cluster.size, domain_rng)
+        channel = channels[cluster.channel_name]
+        for local_id, global_id in enumerate(cluster.node_ids):
+            node = NetworkNode(sim, global_id, trace, dma_config=scenario.dma)
+            mac = CsmaMac(sim, global_id, channel, scenario.csma, trace,
+                          random.Random(stable_seed(seed, "mac", global_id)))
+            node.add_interface("radio0", mac)
+            nodes[global_id] = node
+            node_rng = random.Random(stable_seed(seed, "crypto", global_id))
+            # Digital signatures are per-domain here (local ids), which is
+            # consistent because frames only travel inside the cluster channel.
+            suite = CryptoSuite(
+                node_id=local_id,
+                signing_key=domain.signing_keys[local_id],
+                verify_keys=domain.verify_keys,
+                threshold_sig=domain.threshold_sig[local_id],
+                threshold_coin=domain.threshold_coin[local_id],
+                coin_flip=domain.coin_flip[local_id],
+                threshold_enc=domain.threshold_enc[local_id],
+                ec_curve=scenario.ec_curve,
+                threshold_curve=scenario.threshold_curve,
+                rng=node_rng,
+                cost_sink=node.charge_cpu,
+            )
+            transport = _make_transport(batched, node, cluster.size, suite, trace,
+                                        scenario.transport, local_id)
+            router = ComponentRouter()
+            transport.register_receiver(router.dispatch)
+            node.bind_stack(transport, channel=cluster.channel_name)
+            node.bind_stack(transport)  # default stack as well
+            ctx = ComponentContext(
+                node_id=local_id, num_nodes=cluster.size, faults=domain.faults,
+                transport=transport, suite=suite, sim=sim,
+                rng=random.Random(stable_seed(seed, "component", global_id)))
+            runtimes[global_id] = DomainRuntime(local_id=local_id, ctx=ctx,
+                                                transport=transport, router=router)
+
+    deployment = Deployment(scenario=scenario, sim=sim, trace=trace,
+                            adversary=adversary, channels=channels, nodes=nodes,
+                            runtimes=runtimes, global_runtimes=global_runtimes,
+                            batched=batched)
+
+    # --- global (leader) domain for multi-hop -----------------------------
+    if scenario.is_multi_hop and backbone_name is not None:
+        leaders = [select_leader(cluster, epoch=0)
+                   for cluster in scenario.topology.clusters]
+        global_rng = random.Random(stable_seed(seed, "global"))
+        global_domain = deal_crypto_domain(len(leaders), global_rng)
+        backbone = channels[backbone_name]
+        backbone.hop_counts.update(routing.hop_table_for(leaders))
+        for local_id, leader_id in enumerate(leaders):
+            node = nodes[leader_id]
+            mac = CsmaMac(sim, leader_id, backbone, scenario.csma, trace,
+                          random.Random(stable_seed(seed, "gmac", leader_id)))
+            node.add_interface("backbone", mac)
+            node_rng = random.Random(stable_seed(seed, "gcrypto", leader_id))
+            suite = CryptoSuite(
+                node_id=local_id,
+                signing_key=global_domain.signing_keys[local_id],
+                verify_keys=global_domain.verify_keys,
+                threshold_sig=global_domain.threshold_sig[local_id],
+                threshold_coin=global_domain.threshold_coin[local_id],
+                coin_flip=global_domain.coin_flip[local_id],
+                threshold_enc=global_domain.threshold_enc[local_id],
+                ec_curve=scenario.ec_curve,
+                threshold_curve=scenario.threshold_curve,
+                rng=node_rng,
+                cost_sink=node.charge_cpu,
+            )
+            transport_config = scenario.transport if scenario.transport.interface \
+                else TransportConfig(
+                    aggregation_window_s=scenario.transport.aggregation_window_s,
+                    resend_interval_s=scenario.transport.resend_interval_s,
+                    resend_jitter=scenario.transport.resend_jitter,
+                    stall_threshold_s=scenario.transport.stall_threshold_s,
+                    reliability=scenario.transport.reliability,
+                    sign_packets=scenario.transport.sign_packets,
+                    interface="backbone")
+            transport = _make_transport(batched, node, len(leaders), suite, trace,
+                                        transport_config, local_id)
+            router = ComponentRouter()
+            transport.register_receiver(router.dispatch)
+            node.bind_stack(transport, channel=backbone_name)
+            ctx = ComponentContext(
+                node_id=local_id, num_nodes=len(leaders),
+                faults=global_domain.faults, transport=transport, suite=suite,
+                sim=sim,
+                rng=random.Random(stable_seed(seed, "gcomponent", leader_id)))
+            global_runtimes[leader_id] = DomainRuntime(
+                local_id=local_id, ctx=ctx, transport=transport, router=router)
+
+    _apply_byzantine_network_behaviour(deployment)
+    return deployment
+
+
+# ---------------------------------------------------------------------------
+# protocol factory
+# ---------------------------------------------------------------------------
+
+def make_protocol(name: str, runtime: DomainRuntime,
+                  config: Optional[ConsensusConfig] = None) -> ConsensusProtocol:
+    """Instantiate a consensus protocol on one node's domain runtime."""
+    canonical = ProtocolName.validate(name)
+    family = ProtocolName.family(canonical)
+    coin = ProtocolName.coin(canonical)
+    config = config or ConsensusConfig()
+    if family == "honeybadger":
+        return HoneyBadger(runtime.ctx, runtime.router, coin=coin, config=config)
+    if family == "beat":
+        return Beat(runtime.ctx, runtime.router, config=config)
+    return Dumbo(runtime.ctx, runtime.router, coin=coin, config=config)
+
+
+# ---------------------------------------------------------------------------
+# consensus runs (single-hop)
+# ---------------------------------------------------------------------------
+
+def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
+                  transaction_bytes: int = 64, batched: bool = True,
+                  seed: int = 0,
+                  config: Optional[ConsensusConfig] = None) -> ConsensusRunResult:
+    """Run one epoch of ``protocol`` on a single-hop scenario."""
+    if scenario.is_multi_hop:
+        raise DeploymentError("run_consensus expects a single-hop scenario; "
+                              "use run_multihop_consensus instead")
+    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    workload = TransactionWorkload(
+        WorkloadSpec(batch_size=batch_size, transaction_bytes=transaction_bytes),
+        seed=seed)
+    protocols = _install_protocols(deployment, protocol, deployment.runtimes,
+                                   config)
+    _propose_all(deployment, deployment.runtimes, workload)
+
+    honest = deployment.honest_ids()
+    decided = deployment.sim.run_until(
+        lambda: all(protocols[node_id].decided for node_id in honest
+                    if node_id in protocols),
+        timeout=scenario.timeout_s)
+    deployment.shutdown()
+    return _consensus_result(protocol, deployment, protocols, honest, decided,
+                             batched, seed)
+
+
+def _install_protocols(deployment: Deployment, protocol: str,
+                       runtimes: dict[int, DomainRuntime],
+                       config: Optional[ConsensusConfig]) -> dict[int, ConsensusProtocol]:
+    protocols: dict[int, ConsensusProtocol] = {}
+    for node_id, runtime in runtimes.items():
+        instance = make_protocol(protocol, runtime, config)
+        runtime.protocol = instance
+        protocols[node_id] = instance
+    return protocols
+
+
+def _propose_all(deployment: Deployment, runtimes: dict[int, DomainRuntime],
+                 workload: TransactionWorkload) -> None:
+    spec = deployment.scenario.byzantine
+    proposal_rng = random.Random(deployment.sim.seed ^ 0xBAD)
+    for node_id, runtime in runtimes.items():
+        if not spec.proposes(node_id) and spec.is_byzantine(node_id):
+            continue
+        node = deployment.nodes[node_id]
+        if node.crashed:
+            continue
+        if spec.proposal_is_garbage(node_id):
+            batch = [bytes(proposal_rng.randrange(256) for _ in range(40))]
+            node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
+            continue
+        batch = workload.batch_for(runtime.local_id)
+        node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
+
+
+def _consensus_result(protocol: str, deployment: Deployment,
+                      protocols: dict[int, ConsensusProtocol],
+                      honest: list[int], decided: bool, batched: bool,
+                      seed: int) -> ConsensusRunResult:
+    from repro.protocols.base import block_digest
+
+    per_node_latency = {
+        node_id: protocols[node_id].decide_time
+        for node_id in honest
+        if node_id in protocols and protocols[node_id].decide_time is not None}
+    latency = max(per_node_latency.values()) if per_node_latency else float("nan")
+    committed = 0
+    digest = ""
+    for node_id in honest:
+        instance = protocols.get(node_id)
+        if instance is not None and instance.block is not None:
+            committed = len(instance.block)
+            digest = block_digest(instance.block)
+            break
+    crypto_seconds = sum(runtime.ctx.suite.ledger.total_seconds
+                         for runtime in deployment.runtimes.values())
+    return ConsensusRunResult(
+        protocol=protocol, batched=batched,
+        num_nodes=deployment.scenario.num_nodes,
+        decided=decided, latency_s=latency,
+        per_node_latency_s=per_node_latency,
+        committed_transactions=committed, block_digest=digest,
+        channel_accesses=deployment.trace.total_channel_accesses,
+        frames_sent=deployment.trace.total_frames_sent,
+        bytes_sent=deployment.trace.total_bytes_sent,
+        collisions=deployment.trace.total_collisions,
+        crypto_seconds=crypto_seconds,
+        sim_events=deployment.sim.events_processed,
+        seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# multi-hop consensus
+# ---------------------------------------------------------------------------
+
+def run_multihop_consensus(protocol: str, scenario: Scenario,
+                           batch_size: int = 8, transaction_bytes: int = 64,
+                           batched: bool = True, seed: int = 0,
+                           config: Optional[ConsensusConfig] = None) -> MultiHopRunResult:
+    """Run the two-phase local + global consensus on a multi-hop scenario."""
+    if not scenario.is_multi_hop:
+        raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
+    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    workload = TransactionWorkload(
+        WorkloadSpec(batch_size=batch_size, transaction_bytes=transaction_bytes),
+        seed=seed)
+    local_protocols = _install_protocols(deployment, protocol,
+                                         deployment.runtimes, config)
+    global_config = ConsensusConfig(
+        epoch=("global", (config or ConsensusConfig()).epoch),
+        use_threshold_encryption=False,
+        max_aba_rounds=(config or ConsensusConfig()).max_aba_rounds)
+    global_protocols = _install_protocols(deployment, protocol,
+                                          deployment.global_runtimes,
+                                          global_config)
+    _propose_all(deployment, deployment.runtimes, workload)
+
+    outcomes: dict[int, ClusterOutcome] = {}
+    result = MultiHopResult()
+
+    from repro.protocols.multihop import encode_cluster_contribution
+
+    def watch_local(cluster: Cluster, leader_id: int) -> Callable[[], None]:
+        def check() -> None:
+            # Called from the run loop: when this cluster's leader has decided
+            # locally, feed the decided block into the global consensus.
+            leader_protocol = local_protocols.get(leader_id)
+            if leader_protocol is None or not leader_protocol.decided:
+                return
+            if cluster.index in outcomes:
+                return
+            outcome = ClusterOutcome(cluster_index=cluster.index, leader=leader_id,
+                                     block=list(leader_protocol.block or []),
+                                     decide_time=leader_protocol.decide_time)
+            outcomes[cluster.index] = outcome
+            contribution = encode_cluster_contribution(cluster.index, outcome.block)
+            global_protocol = global_protocols.get(leader_id)
+            if global_protocol is not None:
+                deployment.nodes[leader_id].run_task(
+                    lambda p=global_protocol, c=contribution: p.propose([c]))
+        return check
+
+    watchers = []
+    for cluster in scenario.topology.clusters:
+        leader_id = select_leader(cluster, epoch=0)
+        watchers.append(watch_local(cluster, leader_id))
+
+    honest_leaders = [leader for leader in deployment.global_runtimes
+                      if leader not in scenario.byzantine.byzantine_ids]
+
+    def poll() -> bool:
+        for watcher in watchers:
+            watcher()
+        return all(global_protocols[leader].decided for leader in honest_leaders)
+
+    decided = deployment.sim.run_until(poll, timeout=scenario.timeout_s)
+    deployment.shutdown()
+
+    local_latencies = {outcome.cluster_index: outcome.decide_time
+                       for outcome in outcomes.values()
+                       if outcome.decide_time is not None}
+    global_decide_times = [global_protocols[leader].decide_time
+                           for leader in honest_leaders
+                           if global_protocols[leader].decide_time is not None]
+    latency = max(global_decide_times) if global_decide_times else float("nan")
+    committed = 0
+    for leader in honest_leaders:
+        block = global_protocols[leader].block
+        if block:
+            committed = sum(len(_decode_contribution_txs(item)) for item in block)
+            break
+    return MultiHopRunResult(
+        protocol=protocol, batched=batched,
+        num_clusters=scenario.topology.num_clusters,
+        nodes_per_cluster=scenario.topology.clusters[0].size,
+        decided=decided, latency_s=latency,
+        local_latencies_s=local_latencies,
+        committed_transactions=committed,
+        channel_accesses=deployment.trace.total_channel_accesses,
+        bytes_sent=deployment.trace.total_bytes_sent,
+        collisions=deployment.trace.total_collisions,
+        seed=seed)
+
+
+def _decode_contribution_txs(item: bytes) -> list[bytes]:
+    from repro.protocols.multihop import decode_cluster_contribution
+
+    try:
+        _cluster, transactions = decode_cluster_contribution(item)
+        return transactions
+    except ValueError:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# component experiments (broadcast protocols, Fig. 11)
+# ---------------------------------------------------------------------------
+
+_BROADCAST_FACTORIES: dict[str, Callable[..., Component]] = {
+    "rbc": BrachaRbc,
+    "rbc-small": RbcSmall,
+    "prbc": Prbc,
+    "cbc": Cbc,
+    "cbc-small": CbcSmall,
+}
+
+
+def run_broadcast_experiment(component: str, parallelism: int = 1,
+                             proposal_packets: int = 1, num_nodes: int = 4,
+                             batched: bool = True, seed: int = 0,
+                             scenario: Optional[Scenario] = None) -> ComponentRunResult:
+    """Run ``parallelism`` parallel broadcast-component instances to completion.
+
+    ``proposal_packets`` sizes the proposal in units of maximum-size frames,
+    matching the x-axis of Fig. 11b.  Small variants broadcast one-byte values
+    regardless of ``proposal_packets``.
+    """
+    if component not in _BROADCAST_FACTORIES:
+        raise DeploymentError(
+            f"unknown broadcast component {component!r}; "
+            f"known: {sorted(_BROADCAST_FACTORIES)}")
+    scenario = scenario or Scenario.single_hop(num_nodes)
+    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    factory = _BROADCAST_FACTORIES[component]
+    tag = ("bcast", component)
+    completions: dict[int, set[int]] = {node_id: set() for node_id in deployment.nodes}
+
+    proposal_bytes = max(16, proposal_packets * scenario.radio.max_payload_bytes - 60)
+    proposal_rng = random.Random(seed ^ 0xFACE)
+
+    for node_id, runtime in deployment.runtimes.items():
+        for instance in range(parallelism):
+            proposer = instance % runtime.ctx.num_nodes
+            comp = factory(runtime.ctx, instance, tag=tag, proposer=proposer)
+            comp.on_output = (lambda nid: lambda inst, _out: completions[nid].add(inst))(node_id)
+            runtime.router.register(comp)
+            runtime.components.append(comp)
+
+    # proposers start their instances
+    for node_id, runtime in deployment.runtimes.items():
+        for instance in range(parallelism):
+            if instance % runtime.ctx.num_nodes != runtime.local_id:
+                continue
+            comp = runtime.components[instance]
+            if component in ("rbc-small", "cbc-small"):
+                value = 1 if component == "rbc-small" else list(
+                    range(runtime.ctx.quorum))
+            else:
+                value = bytes(proposal_rng.randrange(256)
+                              for _ in range(proposal_bytes))
+            deployment.nodes[node_id].run_task(
+                lambda c=comp, v=value: c.start(v))
+
+    honest = deployment.honest_ids()
+    target = set(range(parallelism))
+    finished = deployment.sim.run_until(
+        lambda: all(completions[node_id] >= target for node_id in honest),
+        timeout=scenario.timeout_s)
+    deployment.shutdown()
+    return ComponentRunResult(
+        component=component, batched=batched, num_nodes=num_nodes,
+        parallelism=parallelism, completed=finished,
+        latency_s=deployment.sim.now if finished else float("nan"),
+        proposal_packets=proposal_packets,
+        channel_accesses=deployment.trace.total_channel_accesses,
+        bytes_sent=deployment.trace.total_bytes_sent,
+        collisions=deployment.trace.total_collisions,
+        per_node_channel_accesses=deployment.trace.channel_accesses_per_node(),
+        seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# component experiments (ABA, Fig. 12)
+# ---------------------------------------------------------------------------
+
+def run_aba_experiment(kind: str, parallel_instances: int = 1,
+                       serial_instances: int = 0, num_nodes: int = 4,
+                       batched: bool = True, mixed_inputs: bool = True,
+                       seed: int = 0,
+                       scenario: Optional[Scenario] = None) -> ComponentRunResult:
+    """Run parallel or serial ABA instances to completion.
+
+    ``kind`` is ``lc`` (Bracha, local coin), ``sc`` (shared coin) or ``cp``
+    (threshold coin flipping).  With ``serial_instances > 0`` the experiment
+    runs that many instances back to back (each starting when the previous
+    one decides locally), matching Fig. 12b; otherwise ``parallel_instances``
+    run simultaneously, matching Fig. 12a.
+    """
+    if kind not in ("lc", "sc", "cp"):
+        raise DeploymentError(f"unknown ABA kind {kind!r}; expected lc, sc or cp")
+    scenario = scenario or Scenario.single_hop(num_nodes)
+    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    tag = ("aba-exp", kind)
+    serial_mode = serial_instances > 0
+    total_instances = serial_instances if serial_mode else parallel_instances
+    completions: dict[int, set[int]] = {node_id: set() for node_id in deployment.nodes}
+    decisions: dict[int, dict[int, int]] = {node_id: {} for node_id in deployment.nodes}
+    rounds: dict[int, int] = {}
+
+    def make_aba(runtime: DomainRuntime, instance: int,
+                 coin: Optional[CommonCoinManager]) -> Component:
+        if kind == "lc":
+            return BrachaAba(runtime.ctx, instance, tag=tag)
+        aba_class = CachinAba if kind == "sc" else CoinFlipAba
+        return aba_class(runtime.ctx, instance, coin=coin, tag=tag)
+
+    per_node_abas: dict[int, list[Component]] = {}
+    for node_id, runtime in deployment.runtimes.items():
+        coin = None
+        if kind in ("sc", "cp"):
+            coin = CommonCoinManager(runtime.ctx, tag=tag,
+                                     flavor="tsig" if kind == "sc" else "flip",
+                                     coin_name="aba-exp")
+            runtime.router.register_kind_handler("coin", tag, coin.handle)
+        abas = []
+        for instance in range(total_instances):
+            aba = make_aba(runtime, instance, coin)
+
+            def on_output(nid=node_id, inst=instance):
+                def callback(_instance, decision):
+                    completions[nid].add(inst)
+                    decisions[nid][inst] = decision
+                    rounds[nid] = rounds.get(nid, 0) + 1
+                    if serial_mode:
+                        _start_next_serial(nid, inst + 1)
+                return callback
+
+            aba.on_output = on_output()
+            runtime.router.register(aba)
+            abas.append(aba)
+        per_node_abas[node_id] = abas
+        runtime.components.extend(abas)
+
+    def input_for(node_id: int, instance: int) -> int:
+        if not mixed_inputs:
+            return 1
+        return (node_id + instance) % 2
+
+    def _start_next_serial(node_id: int, instance: int) -> None:
+        if instance >= total_instances:
+            return
+        node = deployment.nodes[node_id]
+        aba = per_node_abas[node_id][instance]
+        node.run_task(lambda: aba.start(input_for(node_id, instance)))
+
+    for node_id in deployment.runtimes:
+        node = deployment.nodes[node_id]
+        if serial_mode:
+            aba = per_node_abas[node_id][0]
+            node.run_task(lambda a=aba, n=node_id: a.start(input_for(n, 0)))
+        else:
+            for instance in range(total_instances):
+                aba = per_node_abas[node_id][instance]
+                node.run_task(lambda a=aba, n=node_id, i=instance:
+                              a.start(input_for(n, i)))
+
+    honest = deployment.honest_ids()
+    target = set(range(total_instances))
+    finished = deployment.sim.run_until(
+        lambda: all(completions[node_id] >= target for node_id in honest),
+        timeout=scenario.timeout_s)
+    deployment.shutdown()
+
+    # agreement check across honest nodes
+    for instance in range(total_instances):
+        values = {decisions[node_id].get(instance) for node_id in honest
+                  if instance in decisions[node_id]}
+        if len(values) > 1:
+            raise DeploymentError(
+                f"ABA agreement violated for instance {instance}: {values}")
+
+    total_rounds = sum(
+        getattr(aba, "rounds_executed", 0)
+        for abas in per_node_abas.values() for aba in abas)
+    return ComponentRunResult(
+        component=f"aba-{kind}", batched=batched, num_nodes=num_nodes,
+        parallelism=parallel_instances if not serial_mode else 1,
+        completed=finished,
+        latency_s=deployment.sim.now if finished else float("nan"),
+        serial_instances=serial_instances,
+        channel_accesses=deployment.trace.total_channel_accesses,
+        bytes_sent=deployment.trace.total_bytes_sent,
+        collisions=deployment.trace.total_collisions,
+        rounds_executed=total_rounds,
+        per_node_channel_accesses=deployment.trace.channel_accesses_per_node(),
+        seed=seed)

@@ -1,0 +1,132 @@
+"""Run metrics: latency, throughput (TPM), message/channel overheads.
+
+The paper reports consensus *latency* in seconds and *throughput* in
+transactions per minute (TPM); component experiments report latency as a
+function of parallelism or proposal size.  These records carry everything the
+benchmark harness needs to print a paper-style row, plus the network trace
+aggregates that back the overhead analysis.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def summarize_latencies(latencies: list[float]) -> dict[str, float]:
+    """Mean / min / max / stdev of a latency sample."""
+    if not latencies:
+        return {"mean": float("nan"), "min": float("nan"),
+                "max": float("nan"), "stdev": float("nan")}
+    return {
+        "mean": statistics.fmean(latencies),
+        "min": min(latencies),
+        "max": max(latencies),
+        "stdev": statistics.pstdev(latencies) if len(latencies) > 1 else 0.0,
+    }
+
+
+@dataclass
+class ConsensusRunResult:
+    """Outcome of one consensus run (one epoch) on the testbed."""
+
+    protocol: str
+    batched: bool
+    num_nodes: int
+    decided: bool
+    latency_s: float
+    per_node_latency_s: dict[int, float] = field(default_factory=dict)
+    committed_transactions: int = 0
+    block_digest: str = ""
+    channel_accesses: int = 0
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    collisions: int = 0
+    crypto_seconds: float = 0.0
+    sim_events: int = 0
+    seed: int = 0
+
+    @property
+    def throughput_tpm(self) -> float:
+        """Committed transactions per minute."""
+        if not self.decided or self.latency_s <= 0:
+            return 0.0
+        return self.committed_transactions / (self.latency_s / 60.0)
+
+    @property
+    def mean_node_latency_s(self) -> float:
+        """Mean per-node decision latency."""
+        if not self.per_node_latency_s:
+            return self.latency_s
+        return statistics.fmean(self.per_node_latency_s.values())
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for reporting."""
+        return {
+            "latency_s": self.latency_s,
+            "throughput_tpm": self.throughput_tpm,
+            "committed_transactions": float(self.committed_transactions),
+            "channel_accesses": float(self.channel_accesses),
+            "bytes_sent": float(self.bytes_sent),
+            "collisions": float(self.collisions),
+        }
+
+
+@dataclass
+class ComponentRunResult:
+    """Outcome of one broadcast-protocol or ABA component experiment."""
+
+    component: str
+    batched: bool
+    num_nodes: int
+    parallelism: int
+    completed: bool
+    latency_s: float
+    proposal_packets: int = 1
+    serial_instances: int = 0
+    channel_accesses: int = 0
+    bytes_sent: int = 0
+    collisions: int = 0
+    rounds_executed: int = 0
+    per_node_channel_accesses: dict[int, int] = field(default_factory=dict)
+    seed: int = 0
+
+    @property
+    def channel_accesses_per_node(self) -> float:
+        """Average channel accesses per node (the Table I quantity)."""
+        if not self.per_node_channel_accesses:
+            return 0.0
+        return statistics.fmean(self.per_node_channel_accesses.values())
+
+
+@dataclass
+class MultiHopRunResult:
+    """Outcome of a multi-hop (clustered) consensus run."""
+
+    protocol: str
+    batched: bool
+    num_clusters: int
+    nodes_per_cluster: int
+    decided: bool
+    latency_s: float
+    local_latencies_s: dict[int, float] = field(default_factory=dict)
+    committed_transactions: int = 0
+    channel_accesses: int = 0
+    bytes_sent: int = 0
+    collisions: int = 0
+    seed: int = 0
+
+    @property
+    def throughput_tpm(self) -> float:
+        """Committed transactions per minute across the whole network."""
+        if not self.decided or self.latency_s <= 0:
+            return 0.0
+        return self.committed_transactions / (self.latency_s / 60.0)
+
+    @property
+    def slowest_local_latency_s(self) -> Optional[float]:
+        """Latency of the slowest cluster's local consensus."""
+        if not self.local_latencies_s:
+            return None
+        return max(self.local_latencies_s.values())

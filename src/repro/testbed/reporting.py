@@ -1,0 +1,59 @@
+"""Report formatting for the figure/table reproduction benchmarks.
+
+The benchmark harness under ``benchmarks/`` prints paper-style rows (one per
+protocol / parallelism level / curve) so that a run's output can be compared
+against the paper's figures at a glance and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` in percent.
+
+    For latency-like metrics (lower is better) this is the reduction
+    percentage the paper quotes ("latency is reduced by 48% to 59%").
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def increase_percent(baseline: float, improved: float) -> float:
+    """Relative increase of ``improved`` over ``baseline`` in percent.
+
+    For throughput-like metrics (higher is better): "throughput increased by
+    48% to 62%".
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (improved - baseline) / baseline
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render a plain-text table (used by benchmark ``--benchmark-only`` output)."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[index])
+                           for index, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

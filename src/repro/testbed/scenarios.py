@@ -1,0 +1,86 @@
+"""Deployment scenarios: the paper's single-hop and multi-hop configurations.
+
+A :class:`Scenario` bundles everything the harness needs to assemble a
+deployment: topology, radio profile, MAC parameters, transport tuning, curve
+selection and Byzantine assignment.  The two canonical scenarios mirror the
+evaluation setup of Section VI-C:
+
+* ``Scenario.single_hop()``  -- four nodes sharing one LoRa-class channel;
+* ``Scenario.multi_hop()``   -- sixteen nodes in four clusters, each cluster
+  on its own channel, with a routed backbone channel for the cluster leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.dma import DmaConfig
+from repro.crypto.curves import DEFAULT_EC_CURVE, DEFAULT_THRESHOLD_CURVE
+from repro.net.csma import CsmaConfig
+from repro.net.radio import LORA_SF7_125KHZ, RadioConfig
+from repro.net.topology import MultiHopTopology, SingleHopTopology, Topology
+from repro.core.batcher import TransportConfig
+from repro.testbed.byzantine import ByzantineSpec
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete deployment description."""
+
+    topology: Topology
+    radio: RadioConfig = LORA_SF7_125KHZ
+    csma: CsmaConfig = field(default_factory=CsmaConfig)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    dma: DmaConfig = field(default_factory=DmaConfig)
+    ec_curve: str = DEFAULT_EC_CURVE
+    threshold_curve: str = DEFAULT_THRESHOLD_CURVE
+    byzantine: ByzantineSpec = field(default_factory=ByzantineSpec.none)
+    #: mean per-link delivery jitter of the asynchronous adversary (seconds)
+    link_jitter_s: float = 0.005
+    #: extra forwarding delay per backbone hop in multi-hop deployments
+    per_hop_forward_s: float = 0.35
+    #: virtual-time limit for a run
+    timeout_s: float = 3000.0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def single_hop(cls, num_nodes: int = 4, **overrides) -> "Scenario":
+        """The paper's single-hop setup (four nodes, one shared channel)."""
+        scenario = cls(topology=SingleHopTopology(num_nodes))
+        return replace(scenario, **overrides) if overrides else scenario
+
+    @classmethod
+    def multi_hop(cls, num_clusters: int = 4, cluster_size: int = 4,
+                  **overrides) -> "Scenario":
+        """The paper's multi-hop setup (four clusters of four nodes)."""
+        topology = MultiHopTopology([cluster_size] * num_clusters)
+        scenario = cls(topology=topology)
+        return replace(scenario, **overrides) if overrides else scenario
+
+    # ---------------------------------------------------------------- helpers
+    @property
+    def num_nodes(self) -> int:
+        """Total node count."""
+        return self.topology.num_nodes
+
+    @property
+    def is_multi_hop(self) -> bool:
+        """True for clustered deployments."""
+        return self.topology.is_multi_hop
+
+    def with_byzantine(self, byzantine: ByzantineSpec) -> "Scenario":
+        """A copy of the scenario with a Byzantine assignment."""
+        return replace(self, byzantine=byzantine)
+
+    def with_curves(self, ec_curve: str, threshold_curve: str) -> "Scenario":
+        """A copy of the scenario using different signature curves."""
+        return replace(self, ec_curve=ec_curve, threshold_curve=threshold_curve)
+
+    def with_radio(self, radio: RadioConfig) -> "Scenario":
+        """A copy of the scenario using a different radio profile."""
+        return replace(self, radio=radio)
+
+    def replace(self, **overrides) -> "Scenario":
+        """A copy with arbitrary fields overridden."""
+        return replace(self, **overrides)

@@ -1,0 +1,186 @@
+"""Tests for the three ABA variants: ABA-LC, ABA-SC and ABA-CP.
+
+Properties exercised (on the in-memory fabric, so deterministic):
+
+* validity  -- unanimous inputs decide that input;
+* agreement -- all honest nodes decide the same bit, also with mixed inputs,
+  crashed nodes and shared round coins;
+* termination helpers -- laggards decide via DECIDED notices.
+"""
+
+import pytest
+
+from repro.components.aba_bracha import BrachaAba
+from repro.components.aba_cachin import CachinAba
+from repro.components.aba_coinflip import CoinFlipAba
+from repro.components.common_coin import CommonCoinManager
+
+from tests.helpers import InMemoryNetwork
+
+
+def install_abas(network, kind, instance=0, tag="aba-test", shared_coin=None):
+    """Create one ABA instance (and coin manager where needed) per node."""
+    decisions = {}
+    abas = []
+    for node in network.nodes:
+        if kind == "lc":
+            aba = BrachaAba(node.ctx, instance, tag=tag)
+        else:
+            if shared_coin is None:
+                coin = CommonCoinManager(node.ctx, tag=(tag, "coin", instance),
+                                         flavor="tsig" if kind == "sc" else "flip")
+                node.router.register_kind_handler("coin", (tag, "coin", instance),
+                                                  coin.handle)
+            else:
+                coin = shared_coin[node.node_id]
+            aba_class = CachinAba if kind == "sc" else CoinFlipAba
+            aba = aba_class(node.ctx, instance, coin=coin, tag=tag)
+        aba.on_output = (
+            lambda nid: lambda _inst, decision: decisions.setdefault(nid, decision)
+        )(node.node_id)
+        node.router.register(aba)
+        abas.append(aba)
+    return abas, decisions
+
+
+@pytest.mark.parametrize("kind", ["lc", "sc", "cp"])
+class TestAbaCommonProperties:
+    def test_unanimous_one_decides_one(self, kind):
+        network = InMemoryNetwork(4)
+        abas, decisions = install_abas(network, kind)
+        for aba in abas:
+            aba.start(1)
+        assert decisions == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_unanimous_zero_decides_zero(self, kind):
+        network = InMemoryNetwork(4)
+        abas, decisions = install_abas(network, kind)
+        for aba in abas:
+            aba.start(0)
+        assert decisions == {0: 0, 1: 0, 2: 0, 3: 0}
+
+    def test_mixed_inputs_reach_agreement(self, kind):
+        network = InMemoryNetwork(4, seed=11)
+        abas, decisions = install_abas(network, kind)
+        inputs = [0, 1, 0, 1]
+        for aba, value in zip(abas, inputs):
+            aba.start(value)
+        assert set(decisions) == {0, 1, 2, 3}
+        assert len(set(decisions.values())) == 1
+        assert list(decisions.values())[0] in (0, 1)
+
+    def test_agreement_with_crashed_node(self, kind):
+        network = InMemoryNetwork(4, seed=5)
+        abas, decisions = install_abas(network, kind)
+        network.drop(3)
+        for aba in abas[:3]:
+            aba.start(1)
+        honest_ids = {0, 1, 2}
+        assert honest_ids.issubset(decisions)
+        assert len({decisions[nid] for nid in honest_ids}) == 1
+
+    def test_invalid_input_rejected(self, kind):
+        network = InMemoryNetwork(4)
+        abas, _decisions = install_abas(network, kind)
+        with pytest.raises(ValueError):
+            abas[0].start(2)
+
+    def test_double_start_is_idempotent(self, kind):
+        network = InMemoryNetwork(4)
+        abas, decisions = install_abas(network, kind)
+        for aba in abas:
+            aba.start(1)
+        before = dict(decisions)
+        abas[0].start(0)  # ignored: already started
+        assert decisions == before
+
+
+class TestSharedCoinAcrossInstances:
+    def test_parallel_instances_share_round_coins(self):
+        # The wireless design lets all parallel ABA instances of an epoch use
+        # the same round coin (paper challenge III).
+        network = InMemoryNetwork(4, seed=3)
+        coins = []
+        for node in network.nodes:
+            coin = CommonCoinManager(node.ctx, tag=("epoch", "coin"), flavor="tsig")
+            node.router.register_kind_handler("coin", ("epoch", "coin"), coin.handle)
+            coins.append(coin)
+        all_decisions = []
+        for instance in range(3):
+            abas, decisions = install_abas(network, "sc", instance=instance,
+                                           tag="epoch", shared_coin=coins)
+            for node_id, aba in enumerate(abas):
+                aba.start((node_id + instance) % 2)
+            all_decisions.append(decisions)
+        for decisions in all_decisions:
+            assert len(set(decisions.values())) == 1
+
+    def test_coin_share_traffic_is_per_round_not_per_instance(self):
+        network = InMemoryNetwork(4, seed=3)
+        coins = []
+        for node in network.nodes:
+            coin = CommonCoinManager(node.ctx, tag=("epoch2", "coin"), flavor="tsig")
+            node.router.register_kind_handler("coin", ("epoch2", "coin"), coin.handle)
+            coins.append(coin)
+        for instance in range(3):
+            abas, _ = install_abas(network, "sc", instance=instance,
+                                   tag="epoch2", shared_coin=coins)
+            for aba in abas:
+                aba.start(1)
+        # Unanimous inputs decide without the coin in round 0 of the standard
+        # protocol only if values match the coin; at most a handful of rounds
+        # run, and the number of coin shares node 0 sent equals the number of
+        # distinct rounds requested, not 3x (one per instance).
+        share_messages = [m for m in network.nodes[0].transport.sent
+                          if m.kind == "coin"]
+        rounds = {m.round for m in share_messages}
+        assert len(share_messages) == len(rounds)
+
+
+class TestBrachaAbaInternals:
+    def test_rounds_counted(self):
+        network = InMemoryNetwork(4, seed=7)
+        abas, decisions = install_abas(network, "lc")
+        for aba in abas:
+            aba.start(1)
+        # at least one node finishes a full round; laggards may decide via the
+        # DECIDED-notice shortcut without completing a round themselves
+        assert any(aba.rounds_executed >= 1 for aba in abas)
+        assert decisions[0] == 1
+
+    def test_decided_notice_lets_laggard_decide(self):
+        from tests.helpers import make_message
+
+        network = InMemoryNetwork(4)
+        abas, decisions = install_abas(network, "lc")
+        target = abas[0]
+        for sender in (1, 2):
+            target.handle(make_message("aba_lc", 0, "decided", sender=sender,
+                                       payload={"value": 1}, tag="aba-test"))
+        assert decisions.get(0) == 1
+
+
+class TestCachinAbaInternals:
+    def test_bval_relay_at_f_plus_1(self):
+        from tests.helpers import make_message
+
+        network = InMemoryNetwork(4)
+        abas, _decisions = install_abas(network, "sc")
+        target = abas[0]
+        target.start(0)
+        network.nodes[0].transport.sent.clear()
+        # two BVAL(1) messages (f+1 = 2) force node 0 to relay BVAL(1)
+        for sender in (1, 2):
+            target.handle(make_message("aba_sc", 0, "bval", sender=sender,
+                                       payload={"value": 1}, tag="aba-test"))
+        relayed = [m for m in network.nodes[0].transport.sent
+                   if m.phase == "bval" and m.payload["value"] == 1]
+        assert len(relayed) == 1
+
+    def test_coin_flavor_attribute(self):
+        network = InMemoryNetwork(4)
+        abas_sc, _ = install_abas(network, "sc", instance=1)
+        abas_cp, _ = install_abas(network, "cp", instance=2)
+        assert abas_sc[0].kind == "aba_sc"
+        assert abas_cp[0].kind == "aba_cp"
+        assert abas_cp[0].coin_flavor == "flip"

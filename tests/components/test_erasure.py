@@ -1,0 +1,62 @@
+"""Tests for the Reed-Solomon erasure coder used by Cachin's RBC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.erasure import ErasureError, decode_blocks, encode_blocks
+
+
+class TestErasureCoding:
+    def test_roundtrip_with_all_blocks(self):
+        data = b"a moderately sized proposal payload for dispersal"
+        blocks = encode_blocks(data, num_data_blocks=2, num_blocks=4)
+        assert decode_blocks(blocks) == data
+
+    def test_roundtrip_with_any_k_blocks(self):
+        data = b"any k of n blocks suffice"
+        blocks = encode_blocks(data, num_data_blocks=2, num_blocks=4)
+        assert decode_blocks([blocks[1], blocks[3]]) == data
+        assert decode_blocks([blocks[2], blocks[0]]) == data
+
+    def test_insufficient_blocks_rejected(self):
+        blocks = encode_blocks(b"payload", num_data_blocks=3, num_blocks=5)
+        with pytest.raises(ErasureError):
+            decode_blocks(blocks[:2])
+
+    def test_duplicate_blocks_do_not_count(self):
+        blocks = encode_blocks(b"payload", num_data_blocks=2, num_blocks=4)
+        with pytest.raises(ErasureError):
+            decode_blocks([blocks[0], blocks[0]])
+
+    def test_empty_payload(self):
+        blocks = encode_blocks(b"", num_data_blocks=2, num_blocks=4)
+        assert decode_blocks(blocks[:2]) == b""
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ErasureError):
+            encode_blocks(b"x", num_data_blocks=0, num_blocks=4)
+        with pytest.raises(ErasureError):
+            encode_blocks(b"x", num_data_blocks=5, num_blocks=4)
+        with pytest.raises(ErasureError):
+            decode_blocks([])
+
+    def test_mixed_encodings_rejected(self):
+        blocks_a = encode_blocks(b"payload A", num_data_blocks=2, num_blocks=4)
+        blocks_b = encode_blocks(b"payload B!", num_data_blocks=3, num_blocks=4)
+        with pytest.raises(ErasureError):
+            decode_blocks([blocks_a[0], blocks_b[1]])
+
+    def test_block_sizes_reported(self):
+        blocks = encode_blocks(b"x" * 90, num_data_blocks=3, num_blocks=4)
+        assert all(block.size_bytes() > 0 for block in blocks)
+        # each block holds ~1/k of the payload in field elements
+        assert blocks[0].size_bytes() < 90
+
+    @given(data=st.binary(min_size=0, max_size=200),
+           k=st.integers(min_value=1, max_value=4),
+           extra=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data, k, extra):
+        n = k + extra
+        blocks = encode_blocks(data, num_data_blocks=k, num_blocks=n)
+        assert decode_blocks(blocks[-k:]) == data

@@ -1,0 +1,139 @@
+"""Tests for PRBC and CBC / CBC-small."""
+
+import pytest
+
+from repro.components.cbc import Cbc
+from repro.components.cbc_small import CbcSmall
+from repro.components.prbc import Prbc
+
+from tests.helpers import InMemoryNetwork, make_message
+
+
+def install(network, cls, instance=0, tag="t"):
+    outputs = {}
+    components = []
+    for node in network.nodes:
+        component = cls(node.ctx, instance, tag=tag)
+        component.on_output = (
+            lambda nid: lambda _inst, value: outputs.setdefault(nid, value)
+        )(node.node_id)
+        node.router.register(component)
+        components.append(component)
+    return components, outputs
+
+
+class TestPrbc:
+    def test_delivery_includes_valid_proof(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Prbc, instance=2)
+        components[2].start(b"provable broadcast value")
+        assert set(outputs) == {0, 1, 2, 3}
+        for node in network.nodes:
+            value, proof = outputs[node.node_id]
+            assert value == b"provable broadcast value"
+            message = f"prbc|t|2|{components[node.node_id].value_hash}".encode()
+            assert node.ctx.suite.tsig_verify(message, proof)
+
+    def test_delivery_with_crash_fault(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Prbc, instance=0)
+        network.drop(1)
+        components[0].start(b"tolerates one crash")
+        for node in network.honest():
+            value, proof = outputs[node.node_id]
+            assert value == b"tolerates one crash"
+            assert proof is not None
+
+    def test_no_proof_without_enough_done_shares(self):
+        # With two nodes silent (more than f), DONE cannot gather 2f+1 shares.
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Prbc, instance=0)
+        network.drop(2)
+        network.drop(3)
+        components[0].start(b"insufficient quorum")
+        assert outputs == {}
+
+    def test_forged_done_share_does_not_count(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Prbc, instance=1)
+        bogus = make_message("prbc", 1, "done", sender=3,
+                             payload={"share": "not a share", "hash": "00"}, tag="t")
+        network.inject(0, bogus)
+        components[1].start(b"value")
+        # everything still completes correctly via the honest path
+        value, proof = outputs[0]
+        assert value == b"value"
+        assert proof is not None
+
+
+class TestCbc:
+    def test_consistent_broadcast_delivery(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=1)
+        components[1].start(b"cbc value")
+        assert set(outputs) == {0, 1, 2, 3}
+        for node_id, (value, certificate) in outputs.items():
+            assert value == b"cbc value"
+            assert certificate is not None
+
+    def test_certificate_verifies_against_value_hash(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=0)
+        components[0].start(b"certified")
+        value, certificate = outputs[2]
+        message = f"cbc|t|0|{components[2].value_hash}".encode()
+        assert network.nodes[2].ctx.suite.tsig_verify(message, certificate)
+
+    def test_structured_values_supported(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=3)
+        proposal = [(0, "proof-0"), (2, "proof-2"), (3, "proof-3")]
+        components[3].start(proposal)
+        assert outputs[1][0] == proposal
+
+    def test_delivery_with_crash_fault(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=0)
+        network.drop(2)
+        components[0].start(b"one fault tolerated")
+        for node in network.honest():
+            assert outputs[node.node_id][0] == b"one fault tolerated"
+
+    def test_crashed_proposer_means_no_delivery(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=2)
+        network.drop(2)
+        assert outputs == {}
+
+    def test_forged_finish_rejected(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, Cbc, instance=1)
+        target = components[0]
+        target.handle(make_message("cbc", 1, "initial", sender=1,
+                                   payload={"value": b"real"}, tag="t"))
+        forged = make_message("cbc", 1, "finish", sender=1,
+                              payload={"hash": target.value_hash,
+                                       "certificate": "garbage"}, tag="t")
+        target.handle(forged)
+        assert 0 not in outputs
+
+    def test_non_proposer_cannot_start(self):
+        network = InMemoryNetwork(4)
+        components, _ = install(network, Cbc, instance=1)
+        with pytest.raises(ValueError):
+            components[3].start(b"nope")
+
+
+class TestCbcSmall:
+    def test_node_id_list_delivery(self):
+        network = InMemoryNetwork(4)
+        components, outputs = install(network, CbcSmall, instance=0)
+        id_list = [0, 1, 3]
+        components[0].start(id_list)
+        for node_id in range(4):
+            assert outputs[node_id][0] == id_list
+
+    def test_kind_selects_small_packet_layout(self):
+        network = InMemoryNetwork(4)
+        components, _ = install(network, CbcSmall, instance=0)
+        assert components[0].kind == "cbc_small"

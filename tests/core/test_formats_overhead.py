@@ -1,0 +1,130 @@
+"""Tests for the packet formats (Figs. 4-6) and the Table I overhead model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.formats import (
+    FORMAT_BUILDERS,
+    aba_lc_format,
+    aba_sc_format,
+    cbc_ef_format,
+    cbc_init_format,
+    cbc_small_format,
+    prbc_done_format,
+    rbc_er_format,
+    rbc_init_format,
+    rbc_small_format,
+)
+from repro.core.overhead import MessageOverheadModel, OverheadError, OverheadRow
+
+
+class TestPacketFormats:
+    def test_every_format_has_header_and_signature(self):
+        formats = [
+            rbc_init_format(4, proposal_bytes=100),
+            rbc_er_format(4),
+            rbc_small_format(4),
+            cbc_init_format(4, proposal_bytes=100),
+            cbc_ef_format(4),
+            cbc_small_format(4),
+            prbc_done_format(4),
+            aba_lc_format(4, parallel_instances=2),
+            aba_sc_format(4, parallel_instances=2),
+        ]
+        for packet_format in formats:
+            names = [field.name for field in packet_format.fields]
+            assert "header" in names
+            assert "signature" in names
+            assert packet_format.total_bytes > 0
+
+    def test_rbc_er_batches_hashes_for_all_instances(self):
+        packet_format = rbc_er_format(4)
+        assert packet_format.field("hash").size_bytes == 32 * 4
+
+    def test_small_formats_avoid_hashes(self):
+        small = rbc_small_format(4)
+        assert all(field.name != "hash" for field in small.fields)
+        assert small.total_bytes < rbc_er_format(4).total_bytes
+
+    def test_cbc_small_cheaper_than_cbc_ef(self):
+        assert cbc_small_format(4).total_bytes <= cbc_ef_format(4).total_bytes
+
+    def test_signature_size_propagates(self):
+        cheap = rbc_er_format(4, signature_bytes=40)
+        expensive = rbc_er_format(4, signature_bytes=64)
+        assert expensive.total_bytes - cheap.total_bytes == 24
+
+    def test_threshold_share_size_propagates(self):
+        cheap = prbc_done_format(4, threshold_share_bytes=21)
+        expensive = prbc_done_format(4, threshold_share_bytes=65)
+        assert expensive.total_bytes > cheap.total_bytes
+
+    def test_aba_sc_shares_one_coin_share_for_k_instances(self):
+        one = aba_sc_format(4, parallel_instances=1)
+        four = aba_sc_format(4, parallel_instances=4)
+        # the Share field does not grow with k, only the vote bitmaps do
+        assert one.field("share").size_bytes == four.field("share").size_bytes
+        assert four.field("bval").size_bytes > one.field("bval").size_bytes
+
+    def test_aba_lc_round_nack_ext_scales_with_instances(self):
+        one = aba_lc_format(4, parallel_instances=1)
+        three = aba_lc_format(4, parallel_instances=3)
+        assert three.field("round_nack_ext").size_bytes > one.field("round_nack_ext").size_bytes
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(KeyError):
+            rbc_er_format(4).field("nonexistent")
+
+    def test_registry_complete(self):
+        assert set(FORMAT_BUILDERS) == {
+            "RBC_INIT", "RBC_ER", "RBC_SMALL", "CBC_INIT", "CBC_EF",
+            "CBC_SMALL", "PRBC_DONE", "ABA_LC", "ABA_SC"}
+
+    @given(n=st.integers(min_value=4, max_value=31))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_nack_fields_grow_linearly(self, n):
+        packet_format = rbc_er_format(n)
+        assert packet_format.field("echo_nack").size_bytes == (n + 7) // 8
+
+
+class TestTableOne:
+    def test_paper_formulas_at_n4(self):
+        model = MessageOverheadModel(4)
+        table = {row.component: row for row in model.table()}
+        assert table["RBC"] == OverheadRow("RBC", 27, 9, 3)
+        assert table["CBC"] == OverheadRow("CBC", 9, 5, 3)
+        assert table["PRBC"] == OverheadRow("PRBC", 39, 13, 4)
+        assert table["Bracha's ABA"] == OverheadRow("Bracha's ABA", 324, 108, 9)
+        assert table["Cachin's ABA"] == OverheadRow("Cachin's ABA", 36, 12, 3)
+
+    def test_batcher_overhead_constant_in_n(self):
+        for component in ("rbc", "cbc", "prbc", "bracha", "cachin"):
+            small = MessageOverheadModel(4).row(component).consensus_batcher
+            large = MessageOverheadModel(31).row(component).consensus_batcher
+            assert small == large
+
+    def test_wired_overhead_superlinear(self):
+        small = MessageOverheadModel(4).rbc().wired
+        large = MessageOverheadModel(16).rbc().wired
+        assert large / small > 4
+
+    def test_reduction_factors(self):
+        row = MessageOverheadModel(4).rbc()
+        assert row.batcher_vs_baseline == pytest.approx(3.0)
+        assert row.baseline_vs_wired == pytest.approx(3.0)
+
+    def test_row_lookup_aliases(self):
+        model = MessageOverheadModel(4)
+        assert model.row("ABA-LC").component == "Bracha's ABA"
+        assert model.row("aba-sc").component == "Cachin's ABA"
+        with pytest.raises(OverheadError):
+            model.row("mvba")
+
+    def test_as_dict(self):
+        data = MessageOverheadModel(4).as_dict()
+        assert data["RBC"]["consensus_batcher"] == 3
+        assert set(data) == {"RBC", "CBC", "PRBC", "Bracha's ABA", "Cachin's ABA"}
+
+    def test_invalid_size(self):
+        with pytest.raises(OverheadError):
+            MessageOverheadModel(1)

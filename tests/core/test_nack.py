@@ -1,0 +1,73 @@
+"""Tests for the compressed NACK encoding (O(N^2) -> O(N), Section IV-C.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.nack import CompressedNack, PerInstanceNack, compression_ratio
+
+
+class TestPerInstanceNack:
+    def test_size_is_quadratic(self):
+        nack = PerInstanceNack(num_instances=4, num_nodes=4)
+        assert nack.size_bits() == 4 * 3
+
+    def test_missing_tracking(self):
+        nack = PerInstanceNack(num_instances=2, num_nodes=4)
+        assert nack.is_missing(0, 3)
+        nack.mark_received(0, 3)
+        assert not nack.is_missing(0, 3)
+        nack.mark_all_missing(1, {0, 2})
+        assert nack.is_missing(1, 0)
+        assert not nack.is_missing(1, 1)
+
+
+class TestCompressedNack:
+    def test_size_is_linear(self):
+        nack = CompressedNack(num_instances=4)
+        assert nack.size_bits() == 4
+
+    def test_defaults_pending(self):
+        nack = CompressedNack(num_instances=3)
+        assert nack.any_pending()
+        assert nack.to_bits() == [True, True, True]
+
+    def test_clear_and_set(self):
+        nack = CompressedNack(num_instances=3)
+        nack.clear(1)
+        assert nack.to_bits() == [True, False, True]
+        nack.set_pending(1, True)
+        assert nack.is_pending(1)
+
+    def test_out_of_range_instance(self):
+        nack = CompressedNack(num_instances=3)
+        with pytest.raises(IndexError):
+            nack.set_pending(3, True)
+
+    def test_int_roundtrip(self):
+        nack = CompressedNack(num_instances=5)
+        nack.clear(0)
+        nack.clear(3)
+        packed = nack.to_int()
+        restored = CompressedNack.from_int(packed, 5)
+        assert restored.to_bits() == nack.to_bits()
+
+    def test_byte_sizes(self):
+        assert CompressedNack(num_instances=4).size_bytes() == 1
+        assert CompressedNack(num_instances=9).size_bytes() == 2
+        assert PerInstanceNack(num_instances=4, num_nodes=4).size_bytes() == 2
+
+
+class TestCompressionRatio:
+    def test_paper_example(self):
+        # N instances x (N-1) bits compressed to N bits: ratio N-1.
+        assert compression_ratio(4, 4) == pytest.approx(3.0)
+        assert compression_ratio(8, 8) == pytest.approx(7.0)
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_compression_is_linear_vs_quadratic(self, n):
+        naive = PerInstanceNack(num_instances=n, num_nodes=n).size_bits()
+        compressed = CompressedNack(num_instances=n).size_bits()
+        assert naive == n * (n - 1)
+        assert compressed == n
+        assert compression_ratio(n, n) == pytest.approx(n - 1)

@@ -1,0 +1,107 @@
+"""Tests for the logical-message / packet model and the size estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.packet import ComponentMessage, Packet, PacketSizer, SizeProfile
+
+
+def make_message(kind="rbc", instance=0, phase="echo", sender=1, payload=None,
+                 payload_bytes=0, share_bytes=0, round_number=0, tag="t",
+                 slot=None):
+    return ComponentMessage(kind=kind, instance=instance, phase=phase,
+                            sender=sender, payload=payload or {},
+                            payload_bytes=payload_bytes, share_bytes=share_bytes,
+                            round=round_number, tag=tag, slot=slot)
+
+
+class TestComponentMessage:
+    def test_slot_key_distinguishes_instances_phases_rounds_and_slots(self):
+        base = make_message()
+        assert base.slot_key() != make_message(instance=1).slot_key()
+        assert base.slot_key() != make_message(phase="ready").slot_key()
+        assert base.slot_key() != make_message(round_number=1).slot_key()
+        assert base.slot_key() != make_message(slot=2).slot_key()
+        assert base.slot_key() == make_message(sender=3).slot_key()
+
+    def test_describe_is_readable(self):
+        text = make_message(kind="aba_sc", instance=2, phase="bval",
+                            round_number=3, sender=1).describe()
+        assert "aba_sc" in text and "bval" in text and "r3" in text
+
+
+class TestPacket:
+    def test_packet_iterates_messages(self):
+        messages = [make_message(instance=i) for i in range(3)]
+        packet = Packet(sender=0, messages=messages)
+        assert len(packet) == 3
+        assert list(packet) == messages
+
+
+class TestPacketSizer:
+    def setup_method(self):
+        self.sizer = PacketSizer(4, SizeProfile(digital_signature_bytes=40,
+                                                threshold_share_bytes=21))
+
+    def test_baseline_initial_carries_full_proposal(self):
+        message = make_message(phase="initial", payload_bytes=500)
+        size = self.sizer.baseline_packet_bytes(message)
+        assert size >= 500 + 40 + 10
+
+    def test_baseline_vote_carries_hash(self):
+        message = make_message(phase="echo")
+        size = self.sizer.baseline_packet_bytes(message)
+        assert 40 + 10 + 32 <= size <= 40 + 10 + 32 + 4
+
+    def test_baseline_share_phase_includes_threshold_share(self):
+        plain = self.sizer.baseline_packet_bytes(make_message(phase="ready"))
+        with_share = self.sizer.baseline_packet_bytes(
+            make_message(phase="done", share_bytes=21))
+        assert with_share > plain
+
+    def test_batched_packet_amortizes_signature(self):
+        messages = [make_message(instance=i, phase="echo") for i in range(4)]
+        batched = self.sizer.batched_packet_bytes(messages)
+        separate = sum(self.sizer.baseline_packet_bytes(m) for m in messages)
+        assert batched < separate
+
+    def test_batched_small_values_cheaper_than_hashed(self):
+        votes = [make_message(kind="rbc_small", instance=i, phase="echo")
+                 for i in range(4)]
+        hashed = [make_message(kind="rbc", instance=i, phase="echo")
+                  for i in range(4)]
+        assert (self.sizer.batched_packet_bytes(votes, small_values=True)
+                < self.sizer.batched_packet_bytes(hashed, small_values=False))
+
+    def test_batched_counts_each_instance_hash_once(self):
+        one_phase = [make_message(instance=0, phase="echo")]
+        two_phases = [make_message(instance=0, phase="echo"),
+                      make_message(instance=0, phase="ready")]
+        delta = (self.sizer.batched_packet_bytes(two_phases)
+                 - self.sizer.batched_packet_bytes(one_phase))
+        assert delta < 32  # second phase adds NACK + vote, not another hash
+
+    def test_empty_batched_packet_is_header_plus_signature(self):
+        assert self.sizer.batched_packet_bytes([]) == 10 + 40
+
+    def test_invalid_num_nodes(self):
+        with pytest.raises(ValueError):
+            PacketSizer(0)
+
+    @given(count=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_size_grows_monotonically_with_messages(self, count):
+        messages = [make_message(instance=i % 4, phase="echo", slot=i)
+                    for i in range(count)]
+        smaller = self.sizer.batched_packet_bytes(messages[:max(1, count // 2)])
+        larger = self.sizer.batched_packet_bytes(messages)
+        assert larger >= smaller
+
+
+class TestSizeProfile:
+    def test_nack_bytes_rounding(self):
+        profile = SizeProfile()
+        assert profile.nack_bytes(1) == 1
+        assert profile.nack_bytes(8) == 1
+        assert profile.nack_bytes(9) == 2
+        assert profile.nack_bytes(0) == 1

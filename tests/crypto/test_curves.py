@@ -1,0 +1,79 @@
+"""Tests for the per-curve size/latency profiles (paper Fig. 10)."""
+
+import pytest
+
+from repro.crypto.curves import (
+    EC_CURVES,
+    THRESHOLD_CURVES,
+    DEFAULT_EC_CURVE,
+    DEFAULT_THRESHOLD_CURVE,
+    UnknownCurveError,
+    get_ec_curve,
+    get_threshold_curve,
+)
+
+
+class TestCurveCatalogue:
+    def test_all_paper_curves_present(self):
+        assert set(EC_CURVES) == {"secp160r1", "secp192r1", "secp224r1",
+                                  "secp256r1", "secp256k1"}
+        assert set(THRESHOLD_CURVES) == {"BN158", "BN254", "BLS12383",
+                                         "BLS12381", "FP256BN", "FP512BN"}
+
+    def test_paper_headline_sizes(self):
+        # Fig. 10c: secp160r1 -> 40-byte digital signature, BN158 -> 21-byte
+        # threshold signature.
+        assert get_ec_curve("secp160r1").signature_bytes == 40
+        assert get_threshold_curve("BN158").threshold_sig_bytes == 21
+
+    def test_secp160r1_smallest_digital_signature(self):
+        smallest = min(EC_CURVES.values(), key=lambda c: c.signature_bytes)
+        assert smallest.name == "secp160r1"
+
+    def test_bn158_smallest_threshold_signature(self):
+        smallest = min(THRESHOLD_CURVES.values(), key=lambda c: c.threshold_sig_bytes)
+        assert smallest.name == "BN158"
+
+    def test_bn158_lightest_threshold_curve(self):
+        # Fig. 10a ordering: BN158 lightest, FP512BN heaviest.
+        bn158 = get_threshold_curve("BN158")
+        fp512 = get_threshold_curve("FP512BN")
+        for op in ("dealer", "sign", "verifyshare", "combineshare",
+                   "verifysignature"):
+            assert bn158.sig_op_latencies()[op] < fp512.sig_op_latencies()[op]
+
+    def test_all_threshold_curves_heavier_than_bn158(self):
+        bn158 = get_threshold_curve("BN158")
+        for name, profile in THRESHOLD_CURVES.items():
+            if name == "BN158":
+                continue
+            assert profile.sign_share_ms >= bn158.sign_share_ms
+
+    def test_coin_flipping_cheaper_than_threshold_signatures(self):
+        # Fig. 10a vs 10b: coin flipping operations are cheaper per curve.
+        for profile in THRESHOLD_CURVES.values():
+            assert profile.coin_sign_ms < profile.sign_share_ms
+            assert profile.coin_combine_ms < profile.combine_share_ms
+
+    def test_ec_latency_increases_with_curve_size(self):
+        assert (get_ec_curve("secp160r1").sign_ms
+                < get_ec_curve("secp192r1").sign_ms
+                < get_ec_curve("secp224r1").sign_ms
+                < get_ec_curve("secp256r1").sign_ms)
+
+    def test_defaults_match_paper_choice(self):
+        assert DEFAULT_EC_CURVE == "secp160r1"
+        assert DEFAULT_THRESHOLD_CURVE == "BN158"
+
+    def test_unknown_curve_rejected(self):
+        with pytest.raises(UnknownCurveError):
+            get_ec_curve("secp512r1")
+        with pytest.raises(UnknownCurveError):
+            get_threshold_curve("BN999")
+
+    def test_latency_dictionaries_complete(self):
+        profile = get_threshold_curve("BN254")
+        assert set(profile.sig_op_latencies()) == {
+            "dealer", "sign", "verifyshare", "combineshare", "verifysignature"}
+        assert set(profile.coin_op_latencies()) == {
+            "dealer", "sign", "verifyshare", "combineshare"}

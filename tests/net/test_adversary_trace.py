@@ -1,0 +1,111 @@
+"""Tests for the asynchronous adversary, traces, reliability helpers and wired model."""
+
+import random
+
+import pytest
+
+from repro.net.adversary import AsyncAdversary, DelayModel
+from repro.net.reliability import AckState, NackState, ReliabilityMode
+from repro.net.trace import NetworkTrace
+from repro.net.wired import WiredNetworkModel
+
+
+class TestDelayModel:
+    def test_delay_bounded_and_nonnegative(self):
+        model = DelayModel(base_jitter_s=0.01, max_delay_s=5.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            delay = model.delay(0, 1, rng)
+            assert 0.0 <= delay <= 5.0
+
+    def test_targeted_delay_applied(self):
+        model = DelayModel(base_jitter_s=0.0, targeted={(0, 1): 2.0})
+        rng = random.Random(0)
+        assert model.delay(0, 1, rng) == pytest.approx(2.0)
+        assert model.delay(1, 0, rng) == pytest.approx(0.0)
+
+    def test_max_delay_caps_targeted(self):
+        model = DelayModel(base_jitter_s=0.0, targeted={(0, 1): 100.0},
+                           max_delay_s=10.0)
+        assert model.delay(0, 1, random.Random(0)) == pytest.approx(10.0)
+
+
+class TestAsyncAdversary:
+    def test_byzantine_membership(self):
+        adversary = AsyncAdversary(byzantine={2})
+        assert adversary.is_byzantine(2)
+        assert not adversary.is_byzantine(0)
+        adversary.corrupt(3)
+        assert adversary.num_byzantine() == 2
+
+    def test_target_link(self):
+        adversary = AsyncAdversary(delay_model=DelayModel(base_jitter_s=0.0))
+        adversary.target_link(1, 2, 4.0)
+        assert adversary.delivery_delay(1, 2, random.Random(0)) == pytest.approx(4.0)
+
+
+class TestNetworkTrace:
+    def test_aggregates(self):
+        trace = NetworkTrace()
+        trace.record_transmission("ch0", 100, 0.3)
+        trace.record_channel_access(0, fragments=1, size_bytes=100)
+        trace.record_channel_access(1, fragments=2, size_bytes=300)
+        trace.record_collision("ch0")
+        trace.record_logical_send(0, 3)
+        trace.record_cpu(0, 0.5)
+        assert trace.total_channel_accesses == 3
+        assert trace.total_bytes_sent == 400
+        assert trace.total_collisions == 1
+        assert trace.channel_accesses_per_node() == {0: 1, 1: 2}
+        assert trace.nodes[0].logical_messages_sent == 3
+        summary = trace.summary()
+        assert summary["channel_accesses"] == 3.0
+        assert summary["collisions"] == 1.0
+
+    def test_collision_rate(self):
+        trace = NetworkTrace()
+        trace.record_transmission("ch0", 10, 0.1)
+        trace.record_transmission("ch0", 10, 0.1)
+        trace.record_collision("ch0")
+        assert trace.channels["ch0"].collision_rate == pytest.approx(0.5)
+
+
+class TestReliabilityHelpers:
+    def test_nack_state_tracks_quorum(self):
+        state = NackState(num_instances=4, expected_senders=frozenset({0, 1, 2, 3}),
+                          quorum=3)
+        state.record(0, "echo", 0)
+        state.record(0, "echo", 1)
+        assert not state.satisfied(0, "echo")
+        state.record(0, "echo", 2)
+        assert state.satisfied(0, "echo")
+        assert state.nack_bitmap("echo") == [False, True, True, True]
+        assert state.missing_senders(0, "echo") == {3}
+
+    def test_ack_state(self):
+        state = AckState(expected_receivers=frozenset({1, 2, 3}))
+        state.record_ack(7, 1)
+        state.record_ack(7, 2)
+        assert not state.fully_acked(7)
+        assert state.pending(7) == {3}
+        state.record_ack(7, 3)
+        assert state.fully_acked(7)
+        # paper: ACK-based reliable broadcast costs at least N + 1 messages
+        assert state.messages_required(4) == 5
+
+    def test_reliability_modes(self):
+        assert ReliabilityMode.NACK.value == "nack"
+        assert ReliabilityMode.ACK.value == "ack"
+
+
+class TestWiredModel:
+    def test_broadcast_message_count(self):
+        model = WiredNetworkModel()
+        assert model.broadcast_messages(4) == 3
+        assert model.broadcast_messages(1) == 0
+
+    def test_times(self):
+        model = WiredNetworkModel(link_latency_s=0.001, bandwidth_bps=1e6)
+        assert model.unicast_time(1000) == pytest.approx(0.001 + 0.008)
+        assert model.broadcast_time(4, 1000) == pytest.approx(model.unicast_time(1000))
+        assert model.broadcast_time(1, 1000) == 0.0

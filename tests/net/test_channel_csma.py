@@ -1,0 +1,182 @@
+"""Tests for the shared wireless channel and the CSMA/CA MAC."""
+
+import pytest
+
+from repro.net.adversary import AsyncAdversary, DelayModel
+from repro.net.channel import Frame, WirelessChannel
+from repro.net.csma import CsmaConfig, CsmaMac
+from repro.net.node import NetworkNode
+from repro.net.radio import LORA_SF7_125KHZ, RadioConfig
+from repro.net.sim import Simulator
+from repro.net.trace import NetworkTrace
+
+
+class RecordingStack:
+    """Minimal protocol stack that records every delivered payload."""
+
+    def __init__(self):
+        self.received = []
+
+    def handle_frame(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+def build_network(num_nodes=3, seed=0, radio=LORA_SF7_125KHZ, jitter=0.0):
+    sim = Simulator(seed=seed)
+    trace = NetworkTrace()
+    adversary = AsyncAdversary(delay_model=DelayModel(base_jitter_s=jitter))
+    channel = WirelessChannel(sim, radio, trace, name="ch0", adversary=adversary)
+    nodes, stacks = [], []
+    for node_id in range(num_nodes):
+        node = NetworkNode(sim, node_id, trace)
+        mac = CsmaMac(sim, node_id, channel, CsmaConfig(), trace, sim.rng)
+        node.add_interface("radio0", mac)
+        stack = RecordingStack()
+        node.bind_stack(stack)
+        nodes.append(node)
+        stacks.append(stack)
+    return sim, trace, channel, nodes, stacks
+
+
+class TestBroadcastDelivery:
+    def test_single_broadcast_reaches_all_other_nodes(self):
+        sim, trace, channel, nodes, stacks = build_network()
+        nodes[0].broadcast({"msg": "hello"}, 120)
+        sim.run(until=10.0)
+        assert stacks[0].received == []  # channel does not echo to the sender
+        assert [payload for _s, payload in stacks[1].received] == [{"msg": "hello"}]
+        assert [payload for _s, payload in stacks[2].received] == [{"msg": "hello"}]
+        assert trace.channels["ch0"].delivered_frames == 2
+
+    def test_one_transmission_counts_one_channel_access(self):
+        sim, trace, channel, nodes, stacks = build_network()
+        nodes[1].broadcast({"msg": "x"}, 100)
+        sim.run(until=10.0)
+        assert trace.nodes[1].channel_accesses == 1
+        assert trace.total_channel_accesses == 1
+
+    def test_multi_fragment_packet_counts_multiple_accesses(self):
+        sim, trace, channel, nodes, stacks = build_network()
+        big = LORA_SF7_125KHZ.max_payload_bytes * 3
+        nodes[0].broadcast({"msg": "big"}, big)
+        sim.run(until=30.0)
+        assert trace.nodes[0].channel_accesses == 3
+        assert len(stacks[1].received) == 1
+
+    def test_sequential_transmissions_are_serialized(self):
+        sim, trace, channel, nodes, stacks = build_network()
+        nodes[0].broadcast({"seq": 1}, 200)
+        nodes[1].broadcast({"seq": 2}, 200)
+        nodes[2].broadcast({"seq": 3}, 200)
+        sim.run(until=30.0)
+        # all nine deliveries happen (no collisions thanks to carrier sensing)
+        total = sum(len(stack.received) for stack in stacks)
+        assert total == 6
+        assert trace.total_collisions == 0
+
+    def test_adversarial_jitter_delays_but_delivers(self):
+        sim, trace, channel, nodes, stacks = build_network(jitter=0.1)
+        nodes[0].broadcast({"msg": "delayed"}, 100)
+        sim.run(until=60.0)
+        assert len(stacks[1].received) == 1
+        assert len(stacks[2].received) == 1
+
+
+class TestCollisions:
+    def test_forced_simultaneous_transmissions_collide(self):
+        sim = Simulator(seed=1)
+        trace = NetworkTrace()
+        channel = WirelessChannel(sim, LORA_SF7_125KHZ, trace, name="ch0")
+        macs = []
+        stacks = []
+        for node_id in range(3):
+            node = NetworkNode(sim, node_id, trace)
+            mac = CsmaMac(sim, node_id, channel, CsmaConfig(), trace, sim.rng)
+            node.add_interface("radio0", mac)
+            stack = RecordingStack()
+            node.bind_stack(stack)
+            macs.append(mac)
+            stacks.append(stack)
+        # bypass the MAC and force two overlapping transmissions
+        channel.transmit(macs[0], Frame(sender=0, payload="a", size_bytes=100))
+        channel.transmit(macs[1], Frame(sender=1, payload="b", size_bytes=100))
+        sim.run(until=5.0)
+        assert trace.total_collisions >= 1
+        assert stacks[2].received == []
+
+    def test_carrier_sense_defers_to_ongoing_transmission(self):
+        sim, trace, channel, nodes, stacks = build_network()
+        nodes[0].broadcast({"long": True}, 220)
+        # second broadcast requested shortly after the first starts
+        sim.schedule(0.01, lambda: nodes[1].broadcast({"second": True}, 220))
+        sim.run(until=30.0)
+        assert trace.total_collisions == 0
+        assert len(stacks[2].received) == 2
+
+
+class TestHalfDuplex:
+    def test_receiver_transmitting_misses_frame(self):
+        sim = Simulator(seed=2)
+        trace = NetworkTrace()
+        channel = WirelessChannel(sim, LORA_SF7_125KHZ, trace, name="ch0")
+        macs, stacks = [], []
+        for node_id in range(2):
+            node = NetworkNode(sim, node_id, trace)
+            mac = CsmaMac(sim, node_id, channel, CsmaConfig(), trace, sim.rng)
+            node.add_interface("radio0", mac)
+            stack = RecordingStack()
+            node.bind_stack(stack)
+            macs.append(mac)
+            stacks.append(stack)
+        channel.transmit(macs[0], Frame(sender=0, payload="a", size_bytes=200))
+        channel.transmit(macs[1], Frame(sender=1, payload="b", size_bytes=200))
+        sim.run(until=5.0)
+        # overlapping transmissions: both collide, neither node receives
+        assert stacks[0].received == []
+        assert stacks[1].received == []
+
+
+class TestCsmaMac:
+    def test_queue_drains_in_order(self):
+        sim, trace, channel, nodes, stacks = build_network(num_nodes=2)
+        for seq in range(5):
+            nodes[0].broadcast({"seq": seq}, 80)
+        sim.run(until=30.0)
+        received = [payload["seq"] for _s, payload in stacks[1].received]
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_queue_limit_drops_oldest(self):
+        sim = Simulator(seed=3)
+        trace = NetworkTrace()
+        channel = WirelessChannel(sim, LORA_SF7_125KHZ, trace, name="ch0")
+        mac = CsmaMac(sim, 0, channel, CsmaConfig(queue_limit=3), trace, sim.rng)
+        node = NetworkNode(sim, 0, trace)
+        node.add_interface("radio0", mac)
+        for seq in range(5):
+            mac.enqueue(Frame(sender=0, payload=seq, size_bytes=10))
+        assert mac.queue_length == 3
+
+    def test_builder_frames_materialize_at_transmit_time(self):
+        sim, trace, channel, nodes, stacks = build_network(num_nodes=2)
+        content = {"value": "initial"}
+
+        def builder():
+            return dict(content), 90
+
+        nodes[0].broadcast_deferred(builder)
+        content["value"] = "updated before transmission"
+        sim.run(until=10.0)
+        assert stacks[1].received[0][1]["value"] == "updated before transmission"
+
+    def test_builder_returning_none_cancels_frame(self):
+        sim, trace, channel, nodes, stacks = build_network(num_nodes=2)
+        nodes[0].broadcast_deferred(lambda: None)
+        nodes[0].broadcast({"after": True}, 60)
+        sim.run(until=10.0)
+        payloads = [payload for _s, payload in stacks[1].received]
+        assert payloads == [{"after": True}]
+        assert trace.nodes[0].channel_accesses == 1
+
+    def test_invalid_frame_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(sender=0, payload="x", size_bytes=0)

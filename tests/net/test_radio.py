@@ -1,0 +1,50 @@
+"""Tests for the radio airtime/fragmentation model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.radio import LORA_FAST, LORA_SF7_125KHZ, RadioConfig, WIFI_LIKE
+
+
+class TestRadioConfig:
+    def test_airtime_scales_with_size(self):
+        radio = LORA_SF7_125KHZ
+        assert radio.airtime(200) > radio.airtime(100) > 0
+
+    def test_airtime_has_preamble_floor(self):
+        radio = LORA_SF7_125KHZ
+        assert radio.airtime(1) >= radio.preamble_s
+
+    def test_fragment_counting(self):
+        radio = RadioConfig("test", bitrate_bps=1000, preamble_s=0.01,
+                            max_payload_bytes=100)
+        assert radio.fragments(0) == 1
+        assert radio.fragments(1) == 1
+        assert radio.fragments(100) == 1
+        assert radio.fragments(101) == 2
+        assert radio.fragments(250) == 3
+
+    def test_multi_fragment_airtime_pays_preamble_per_fragment(self):
+        radio = RadioConfig("test", bitrate_bps=1000, preamble_s=0.01,
+                            max_payload_bytes=100)
+        single = radio.airtime(100)
+        double = radio.airtime(200)
+        assert double == pytest.approx(single + 0.01 + 100 * 8 / 1000)
+
+    def test_profiles_ordered_by_speed(self):
+        size = 200
+        assert (WIFI_LIKE.airtime(size)
+                < LORA_FAST.airtime(size)
+                < LORA_SF7_125KHZ.airtime(size))
+
+    def test_lora_airtime_magnitude(self):
+        # ~200 bytes at ~5.5 kbit/s is roughly 0.3 s on air -- the reason the
+        # paper's consensus latencies are measured in seconds.
+        assert 0.2 < LORA_SF7_125KHZ.airtime(200) < 0.5
+
+    @given(size=st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_airtime_monotone_in_size(self, size):
+        radio = LORA_SF7_125KHZ
+        assert radio.airtime(size + 1) >= radio.airtime(size)
+        assert radio.fragments(size) >= 1

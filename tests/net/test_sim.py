@@ -1,0 +1,175 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.net.sim import PeriodicTimer, SimulationError, Simulator, Timer
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(1.5, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for index in range(5):
+            sim.schedule(1.0, lambda i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_run_until_time_limit(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "nested"]
+        assert sim.now == 2.0
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        counter = []
+        for index in range(10):
+            sim.schedule(float(index + 1), lambda i=index: counter.append(i))
+        satisfied = sim.run_until(lambda: len(counter) >= 3, timeout=100.0)
+        assert satisfied
+        assert len(counter) == 3
+
+    def test_run_until_timeout(self):
+        sim = Simulator()
+        sim.schedule(50.0, lambda: None)
+        satisfied = sim.run_until(lambda: False, timeout=10.0)
+        assert not satisfied
+        assert sim.now == 10.0
+
+    def test_deterministic_rng(self):
+        values_a = [Simulator(seed=42).rng.random() for _ in range(1)]
+        values_b = [Simulator(seed=42).rng.random() for _ in range(1)]
+        assert values_a == values_b
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for index in range(10):
+            sim.schedule(1.0, lambda i=index: fired.append(i))
+        sim.run(max_events=4)
+        assert len(fired) == 4
+
+    def test_call_soon(self):
+        sim = Simulator()
+        fired = []
+        sim.call_soon(lambda: fired.append("now"))
+        sim.run()
+        assert fired == ["now"]
+        assert sim.now == 0.0
+
+
+class TestTimer:
+    def test_timer_fires(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_timer_restart_replaces_previous(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.start(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_timer_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly_until_stopped(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=5.5)
+        timer.stop()
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_prevents_future_firings(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_jitter_stays_within_bounds(self):
+        sim = Simulator(seed=3)
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now), jitter=0.5)
+        timer.start()
+        sim.run(until=20.0)
+        timer.stop()
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(1.0 <= gap <= 1.5 + 1e-9 for gap in gaps)
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,88 @@
+"""Tests for the Asynchronous Common Subset construction."""
+
+import pytest
+
+from repro.components.aba_cachin import CachinAba
+from repro.components.common_coin import CommonCoinManager
+from repro.components.rbc import BrachaRbc
+from repro.protocols.acs import CommonSubset
+
+from tests.helpers import InMemoryNetwork
+
+
+def install_acs(network, tag="acs-test", simultaneous=True):
+    outputs = {}
+    subsets = []
+    for node in network.nodes:
+        coin = CommonCoinManager(node.ctx, tag=(tag, "coin"), flavor="tsig")
+        node.router.register_kind_handler("coin", (tag, "coin"), coin.handle)
+        acs = CommonSubset(
+            node.ctx, node.router, tag,
+            rbc_factory=lambda index, ctx=node.ctx: BrachaRbc(ctx, index, tag=tag),
+            aba_factory=lambda index, ctx=node.ctx, c=coin: CachinAba(ctx, index,
+                                                                      coin=c, tag=tag),
+            on_output=(lambda nid: lambda output: outputs.setdefault(nid, output)
+                       )(node.node_id),
+            simultaneous_aba_start=simultaneous)
+        subsets.append(acs)
+    return subsets, outputs
+
+
+class TestCommonSubset:
+    def test_all_nodes_output_the_same_subset(self):
+        network = InMemoryNetwork(4, seed=1)
+        subsets, outputs = install_acs(network)
+        for node_id, acs in enumerate(subsets):
+            acs.propose(f"value-{node_id}".encode())
+        assert set(outputs) == {0, 1, 2, 3}
+        reference = outputs[0]
+        assert all(outputs[node_id] == reference for node_id in range(4))
+
+    def test_subset_contains_at_least_n_minus_f_values(self):
+        network = InMemoryNetwork(4, seed=2)
+        subsets, outputs = install_acs(network)
+        for node_id, acs in enumerate(subsets):
+            acs.propose(f"value-{node_id}".encode())
+        assert len(outputs[1]) >= 3
+
+    def test_included_values_match_what_proposers_sent(self):
+        network = InMemoryNetwork(4, seed=3)
+        subsets, outputs = install_acs(network)
+        for node_id, acs in enumerate(subsets):
+            acs.propose(f"value-{node_id}".encode())
+        for index, value in outputs[2].items():
+            assert value == f"value-{index}".encode()
+
+    def test_silent_proposer_can_be_excluded(self):
+        network = InMemoryNetwork(4, seed=4)
+        network.drop(3)
+        subsets, outputs = install_acs(network)
+        for node_id in range(3):
+            subsets[node_id].propose(f"value-{node_id}".encode())
+        honest = [0, 1, 2]
+        assert all(node_id in outputs for node_id in honest)
+        reference = outputs[0]
+        assert all(outputs[node_id] == reference for node_id in honest)
+        assert 3 not in reference
+        assert len(reference) >= 3
+
+    def test_abas_start_simultaneously_after_quorum(self):
+        network = InMemoryNetwork(4, seed=5)
+        subsets, _outputs = install_acs(network)
+        acs = subsets[0]
+        assert not acs.abas_started
+        for node_id, instance in enumerate(subsets):
+            instance.propose(f"v{node_id}".encode())
+        assert acs.abas_started
+        # every ABA instance received an input (started), 1s for delivered RBCs
+        assert all(getattr(aba, "_started", False)
+                   for aba in acs.aba_instances.values())
+
+    def test_wired_style_mode_also_terminates(self):
+        network = InMemoryNetwork(4, seed=6)
+        subsets, outputs = install_acs(network, tag="acs-wired",
+                                       simultaneous=False)
+        for node_id, acs in enumerate(subsets):
+            acs.propose(f"value-{node_id}".encode())
+        assert set(outputs) == {0, 1, 2, 3}
+        assert len({frozenset(output.items()) for output in outputs.values()}) == 1

@@ -1,0 +1,164 @@
+"""Protocol-logic tests on the instant in-memory fabric.
+
+These tests exercise the full HoneyBadgerBFT / BEAT / Dumbo state machines
+(ACS, threshold encryption/decryption, PRBC->CBC->serial-ABA pipeline) without
+simulating radios, so they are fast and deterministic.  Safety properties --
+agreement on the block, inclusion of at least N - f honest proposals,
+tolerance of f faulty nodes -- are asserted directly.
+"""
+
+import pytest
+
+from repro.protocols.base import ConsensusConfig, block_digest
+from repro.protocols.beat import Beat
+from repro.protocols.dumbo import Dumbo
+from repro.protocols.honeybadger import HoneyBadger
+
+from tests.helpers import InMemoryNetwork
+
+
+def install_protocols(network, factory):
+    protocols = []
+    for node in network.nodes:
+        protocol = factory(node)
+        node_blocks = []
+        protocol.on_decide = node_blocks.append
+        protocols.append(protocol)
+    return protocols
+
+
+def batches_for(network, prefix="tx"):
+    return {node.node_id: [f"{prefix}-{node.node_id}-{i}".encode() for i in range(3)]
+            for node in network.nodes}
+
+
+def run_protocol(network, factory, proposers=None):
+    protocols = install_protocols(network, factory)
+    batches = batches_for(network)
+    proposers = proposers if proposers is not None else [n.node_id for n in network.nodes]
+    for node_id in proposers:
+        protocols[node_id].propose(batches[node_id])
+    return protocols, batches
+
+
+class TestHoneyBadgerLogic:
+    @pytest.mark.parametrize("coin", ["sc", "lc"])
+    def test_all_honest_nodes_decide_the_same_block(self, coin):
+        network = InMemoryNetwork(4, seed=1)
+        protocols, batches = run_protocol(
+            network,
+            lambda node: HoneyBadger(node.ctx, node.router, coin=coin))
+        assert all(protocol.decided for protocol in protocols)
+        digests = {block_digest(protocol.block) for protocol in protocols}
+        assert len(digests) == 1
+
+    def test_block_contains_at_least_n_minus_f_proposals(self):
+        network = InMemoryNetwork(4, seed=2)
+        protocols, batches = run_protocol(
+            network, lambda node: HoneyBadger(node.ctx, node.router, coin="sc"))
+        block = set(protocols[0].block)
+        included_proposers = {node_id for node_id, batch in batches.items()
+                              if set(batch) <= block}
+        assert len(included_proposers) >= 3  # N - f = 3
+
+    def test_tolerates_crashed_node(self):
+        network = InMemoryNetwork(4, seed=3)
+        network.drop(3)
+        protocols, batches = run_protocol(
+            network, lambda node: HoneyBadger(node.ctx, node.router, coin="sc"),
+            proposers=[0, 1, 2])
+        honest = [protocols[i] for i in range(3)]
+        assert all(protocol.decided for protocol in honest)
+        digests = {block_digest(protocol.block) for protocol in honest}
+        assert len(digests) == 1
+        # the crashed node's transactions are absent
+        assert not any(tx in protocols[0].block for tx in batches[3])
+
+    def test_transactions_deduplicated(self):
+        network = InMemoryNetwork(4, seed=4)
+        protocols = install_protocols(
+            network, lambda node: HoneyBadger(node.ctx, node.router, coin="sc"))
+        shared = [b"same-tx"] * 2
+        for protocol in protocols:
+            protocol.propose(shared)
+        assert all(protocol.decided for protocol in protocols)
+        assert protocols[0].block.count(b"same-tx") == 1
+
+    def test_plaintext_mode(self):
+        network = InMemoryNetwork(4, seed=5)
+        config = ConsensusConfig(use_threshold_encryption=False)
+        protocols, batches = run_protocol(
+            network,
+            lambda node: HoneyBadger(node.ctx, node.router, coin="sc", config=config))
+        assert all(protocol.decided for protocol in protocols)
+        assert set(batches[0]) <= set(protocols[1].block)
+
+    def test_invalid_coin_type_rejected(self):
+        network = InMemoryNetwork(4)
+        with pytest.raises(ValueError):
+            HoneyBadger(network.nodes[0].ctx, network.nodes[0].router, coin="xyz")
+
+
+class TestBeatLogic:
+    def test_beat_decides_and_agrees(self):
+        network = InMemoryNetwork(4, seed=6)
+        protocols, _batches = run_protocol(
+            network, lambda node: Beat(node.ctx, node.router))
+        assert all(protocol.decided for protocol in protocols)
+        assert len({block_digest(p.block) for p in protocols}) == 1
+
+    def test_beat_uses_coin_flipping_aba(self):
+        network = InMemoryNetwork(4, seed=7)
+        protocol = Beat(network.nodes[0].ctx, network.nodes[0].router)
+        assert protocol.coin_type == "cp"
+        assert all(aba.kind == "aba_cp" for aba in protocol.acs.aba_instances.values())
+
+
+class TestDumboLogic:
+    @pytest.mark.parametrize("coin", ["sc", "lc"])
+    def test_all_honest_nodes_decide_the_same_block(self, coin):
+        network = InMemoryNetwork(4, seed=8)
+        protocols, _batches = run_protocol(
+            network, lambda node: Dumbo(node.ctx, node.router, coin=coin))
+        assert all(protocol.decided for protocol in protocols)
+        assert len({block_digest(p.block) for p in protocols}) == 1
+
+    def test_block_references_a_quorum_of_proposals(self):
+        network = InMemoryNetwork(4, seed=9)
+        protocols, batches = run_protocol(
+            network, lambda node: Dumbo(node.ctx, node.router, coin="sc"))
+        block = set(protocols[2].block)
+        included = {node_id for node_id, batch in batches.items()
+                    if set(batch) <= block}
+        assert len(included) >= 3  # the candidate's CBC_value lists 2f+1 PRBCs
+
+    def test_tolerates_crashed_node(self):
+        network = InMemoryNetwork(4, seed=10)
+        network.drop(2)
+        protocols, _batches = run_protocol(
+            network, lambda node: Dumbo(node.ctx, node.router, coin="sc"),
+            proposers=[0, 1, 3])
+        honest = [protocols[i] for i in (0, 1, 3)]
+        assert all(protocol.decided for protocol in honest)
+        assert len({block_digest(p.block) for p in honest}) == 1
+
+    def test_permutation_is_common_across_nodes(self):
+        network = InMemoryNetwork(4, seed=11)
+        protocols, _batches = run_protocol(
+            network, lambda node: Dumbo(node.ctx, node.router, coin="sc"))
+        permutations = {tuple(protocol.permutation) for protocol in protocols}
+        assert len(permutations) == 1
+
+    def test_invalid_coin_type_rejected(self):
+        network = InMemoryNetwork(4)
+        with pytest.raises(ValueError):
+            Dumbo(network.nodes[0].ctx, network.nodes[0].router, coin="cp")
+
+
+class TestCrossProtocolAgreement:
+    def test_latency_recorded_after_decide(self):
+        network = InMemoryNetwork(4, seed=12)
+        protocols, _ = run_protocol(
+            network, lambda node: HoneyBadger(node.ctx, node.router, coin="sc"))
+        assert all(protocol.latency is not None for protocol in protocols)
+        assert all(protocol.latency >= 0 for protocol in protocols)

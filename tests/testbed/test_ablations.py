@@ -1,0 +1,70 @@
+"""Ablation-style integration tests for the design choices DESIGN.md calls out.
+
+These cover the knobs the paper motivates qualitatively: the DMA alignment
+optimisation, the radio profile, the small-value packet formats fitting a
+single LoRa frame, and the multi-hop backbone forwarding cost.
+"""
+
+import pytest
+
+from repro.core.dma import DmaConfig
+from repro.core.formats import aba_sc_format, rbc_er_format, rbc_small_format
+from repro.net.radio import LORA_SF7_125KHZ, WIFI_LIKE
+from repro.testbed.harness import run_broadcast_experiment, run_consensus
+from repro.testbed.scenarios import Scenario
+
+
+class TestDmaAlignmentAblation:
+    def test_disabling_alignment_increases_latency(self):
+        aligned = Scenario.single_hop(4)
+        unaligned = Scenario.single_hop(4).replace(
+            dma=DmaConfig(alignment_enabled=False, idle_flush_s=0.08))
+        fast = run_broadcast_experiment("rbc", parallelism=4, batched=True,
+                                        seed=42, scenario=aligned)
+        slow = run_broadcast_experiment("rbc", parallelism=4, batched=True,
+                                        seed=42, scenario=unaligned)
+        assert fast.completed and slow.completed
+        assert slow.latency_s > fast.latency_s
+
+
+class TestRadioProfileAblation:
+    def test_wifi_class_radio_is_far_faster_than_lora(self):
+        lora = Scenario.single_hop(4).with_radio(LORA_SF7_125KHZ)
+        wifi = Scenario.single_hop(4).with_radio(WIFI_LIKE)
+        slow = run_consensus("beat", lora, batch_size=3, transaction_bytes=32,
+                             batched=True, seed=43)
+        fast = run_consensus("beat", wifi, batch_size=3, transaction_bytes=32,
+                             batched=True, seed=43)
+        assert slow.decided and fast.decided
+        assert fast.latency_s < slow.latency_s / 2
+
+
+class TestPacketParallelismBudget:
+    def test_small_value_formats_fit_one_lora_frame_at_n4(self):
+        # The paper's packet-parallelism argument: the batched small-value
+        # formats for N=4 must fit one maximum-size frame.
+        frame_budget = LORA_SF7_125KHZ.max_payload_bytes
+        assert rbc_small_format(4).total_bytes <= frame_budget
+        assert aba_sc_format(4, parallel_instances=4).total_bytes <= frame_budget
+
+    def test_full_rbc_er_format_fits_one_frame_at_n4(self):
+        assert rbc_er_format(4).total_bytes <= LORA_SF7_125KHZ.max_payload_bytes
+
+    @pytest.mark.parametrize("num_nodes", [4, 7, 10])
+    def test_format_growth_is_linear_in_n(self, num_nodes):
+        per_node = rbc_er_format(num_nodes).total_bytes / num_nodes
+        assert per_node < 64  # dominated by one 32-byte hash per instance
+
+
+class TestBackboneForwardingCost:
+    def test_longer_forwarding_delay_slows_multihop_consensus(self):
+        from repro.testbed.harness import run_multihop_consensus
+
+        near = Scenario.multi_hop(4, 4).replace(per_hop_forward_s=0.05)
+        far = Scenario.multi_hop(4, 4).replace(per_hop_forward_s=1.5)
+        quick = run_multihop_consensus("beat", near, batch_size=2,
+                                       transaction_bytes=32, batched=True, seed=44)
+        slow = run_multihop_consensus("beat", far, batch_size=2,
+                                      transaction_bytes=32, batched=True, seed=44)
+        assert quick.decided and slow.decided
+        assert slow.latency_s > quick.latency_s

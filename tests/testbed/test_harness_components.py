@@ -1,0 +1,144 @@
+"""Integration tests: component experiments on the simulated wireless testbed."""
+
+import pytest
+
+from repro.core.overhead import MessageOverheadModel
+from repro.testbed.harness import (
+    DeploymentError,
+    build_deployment,
+    run_aba_experiment,
+    run_broadcast_experiment,
+)
+from repro.testbed.scenarios import Scenario
+
+
+class TestBroadcastExperiments:
+    def test_rbc_completes_and_reports_latency(self):
+        result = run_broadcast_experiment("rbc", parallelism=2, batched=True, seed=1)
+        assert result.completed
+        assert result.latency_s > 0
+        assert result.channel_accesses > 0
+        assert result.component == "rbc"
+
+    def test_batching_reduces_channel_accesses_for_parallel_rbc(self):
+        batched = run_broadcast_experiment("rbc", parallelism=4, batched=True, seed=2)
+        baseline = run_broadcast_experiment("rbc", parallelism=4, batched=False, seed=2)
+        assert batched.completed and baseline.completed
+        assert batched.channel_accesses < baseline.channel_accesses
+        assert batched.latency_s < baseline.latency_s
+
+    def test_batched_accesses_close_to_table1_prediction(self):
+        # Table I: RBC per-node overhead is 1 + 2 with ConsensusBatcher vs
+        # 1 + 2N for the baseline.  Reliability retransmissions add a little
+        # slack, so allow a 2x margin.
+        model = MessageOverheadModel(4)
+        result = run_broadcast_experiment("rbc", parallelism=4, batched=True, seed=3)
+        per_node = result.channel_accesses_per_node
+        assert per_node <= 2 * model.rbc().consensus_batcher + 2
+
+    def test_rbc_small_cheaper_than_rbc(self):
+        small = run_broadcast_experiment("rbc-small", parallelism=4, batched=True,
+                                         seed=4)
+        full = run_broadcast_experiment("rbc", parallelism=4, batched=True, seed=4)
+        assert small.completed and full.completed
+        assert small.bytes_sent < full.bytes_sent
+
+    def test_prbc_slower_than_rbc(self):
+        rbc = run_broadcast_experiment("rbc", parallelism=2, batched=True, seed=5)
+        prbc = run_broadcast_experiment("prbc", parallelism=2, batched=True, seed=5)
+        assert prbc.completed
+        assert prbc.latency_s > rbc.latency_s
+
+    def test_cbc_completes(self):
+        result = run_broadcast_experiment("cbc", parallelism=2, batched=True, seed=6)
+        assert result.completed
+        small = run_broadcast_experiment("cbc-small", parallelism=2, batched=True,
+                                         seed=6)
+        assert small.completed
+
+    def test_proposal_size_increases_latency(self):
+        small = run_broadcast_experiment("rbc", parallelism=1, proposal_packets=1,
+                                         batched=True, seed=7)
+        large = run_broadcast_experiment("rbc", parallelism=1, proposal_packets=3,
+                                         batched=True, seed=7)
+        assert large.latency_s > small.latency_s
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(DeploymentError):
+            run_broadcast_experiment("avid-x", parallelism=1)
+
+
+class TestAbaExperiments:
+    def test_parallel_aba_sc_completes_with_agreement(self):
+        result = run_aba_experiment("sc", parallel_instances=2, batched=True, seed=1)
+        assert result.completed
+        assert result.component == "aba-sc"
+        assert result.rounds_executed >= 1
+
+    def test_batching_helps_parallel_aba(self):
+        batched = run_aba_experiment("sc", parallel_instances=4, batched=True, seed=2)
+        baseline = run_aba_experiment("sc", parallel_instances=4, batched=False,
+                                      seed=2)
+        assert batched.completed and baseline.completed
+        assert batched.channel_accesses < baseline.channel_accesses
+        assert batched.latency_s < baseline.latency_s
+
+    def test_serial_aba_completes(self):
+        result = run_aba_experiment("sc", serial_instances=2, batched=True, seed=3)
+        assert result.completed
+        assert result.serial_instances == 2
+
+    def test_serial_slower_than_single(self):
+        one = run_aba_experiment("sc", serial_instances=1, batched=True, seed=4)
+        three = run_aba_experiment("sc", serial_instances=3, batched=True, seed=4)
+        assert three.latency_s > one.latency_s
+
+    def test_local_coin_aba_completes(self):
+        result = run_aba_experiment("lc", parallel_instances=2, batched=True, seed=5)
+        assert result.completed
+
+    def test_coin_flip_aba_completes(self):
+        result = run_aba_experiment("cp", parallel_instances=2, batched=True, seed=6)
+        assert result.completed
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeploymentError):
+            run_aba_experiment("xyz")
+
+
+class TestDeploymentConstruction:
+    def test_single_hop_deployment_shape(self):
+        deployment = build_deployment(Scenario.single_hop(4), batched=True, seed=1)
+        assert len(deployment.nodes) == 4
+        assert len(deployment.runtimes) == 4
+        assert set(deployment.channels) == {"ch0"}
+        assert deployment.honest_ids() == [0, 1, 2, 3]
+        deployment.shutdown()
+
+    def test_multi_hop_deployment_shape(self):
+        deployment = build_deployment(Scenario.multi_hop(4, 4), batched=True, seed=1)
+        assert len(deployment.nodes) == 16
+        assert len(deployment.channels) == 5  # 4 cluster channels + backbone
+        assert len(deployment.global_runtimes) == 4  # one leader per cluster
+        for leader_id in deployment.global_runtimes:
+            assert "backbone" in deployment.nodes[leader_id].interfaces
+        deployment.shutdown()
+
+    def test_crash_strategy_applied_at_build_time(self):
+        from repro.testbed.byzantine import ByzantineSpec
+
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec.crash_nodes([2]))
+        deployment = build_deployment(scenario, batched=True, seed=1)
+        assert deployment.nodes[2].crashed
+        assert deployment.honest_ids() == [0, 1, 3]
+        deployment.shutdown()
+
+    def test_slow_links_strategy_targets_adversary(self):
+        from repro.testbed.byzantine import ByzantineSpec
+
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec(assignments={1: "slow-links"}))
+        deployment = build_deployment(scenario, batched=True, seed=1)
+        assert deployment.adversary.delay_model.targeted[(1, 0)] > 0
+        deployment.shutdown()
