@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Perf smoke test: fail loudly if a hot path regressed versus the baseline.
+
+Runs the hot-path micro-benchmarks in quick mode (well under 60 seconds),
+compares throughput against the recorded ``BENCH_hotpath.json`` at the repo
+root, and exits non-zero if
+
+* any key metric is more than 2x slower than the recorded baseline, or
+* a tentpole invariant no longer holds (batched share verification >= 3x the
+  seed per-share path at n=16/t=5; erasure decode >= 5x the seed
+  implementation at k=32).
+
+Usage::
+
+    python scripts/perf_smoke.py [--baseline PATH]
+
+The baseline is only read, never written; refresh it by running
+``python benchmarks/bench_hotpath_micro.py`` after an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for path in (os.path.join(_ROOT, "src"), os.path.join(_ROOT, "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import bench_hotpath_micro  # noqa: E402
+
+# Metrics gated against the baseline.  Quick-mode timings are noisy, so the
+# regression threshold is a generous 2x; real regressions on these paths
+# (a dropped cache, an accidental O(k^3) decode) overshoot it by far.
+GATED_METRICS = (
+    "group_exp_fixed_base",
+    "share_sign",
+    "share_verify_single",
+    "share_verify_batch",
+    "share_combine",
+    "erasure_encode_k32",
+    "erasure_decode_k32",
+    "sim_events",
+)
+MAX_REGRESSION = 2.0
+
+# Tentpole invariants that must hold regardless of the baseline file.
+MIN_BATCH_VS_SEED = 3.0
+MIN_DECODE_VS_SEED = 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline",
+                        default=bench_hotpath_micro.DEFAULT_OUTPUT,
+                        help="recorded BENCH_hotpath.json to compare against")
+    args = parser.parse_args(argv)
+
+    document = bench_hotpath_micro.run_benchmarks(quick=True)
+    current = document["results_ops_per_sec"]
+    speedups = document["speedups"]
+    failures: list[str] = []
+
+    if speedups["share_verify_batch_vs_seed"] < MIN_BATCH_VS_SEED:
+        failures.append(
+            f"batched share verification only "
+            f"{speedups['share_verify_batch_vs_seed']:.2f}x the seed per-share "
+            f"path (need >= {MIN_BATCH_VS_SEED}x)")
+    if speedups["erasure_decode_vs_seed"] < MIN_DECODE_VS_SEED:
+        failures.append(
+            f"erasure decode only {speedups['erasure_decode_vs_seed']:.2f}x "
+            f"the seed implementation (need >= {MIN_DECODE_VS_SEED}x)")
+
+    if not os.path.exists(args.baseline):
+        failures.append(
+            f"no baseline at {args.baseline}; run "
+            f"'python benchmarks/bench_hotpath_micro.py' to record one")
+        baseline_results = {}
+    else:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline_results = json.load(handle).get("results_ops_per_sec", {})
+
+    print(f"{'metric':<32}{'baseline':>14}{'current':>14}{'ratio':>8}")
+    for metric in GATED_METRICS:
+        now = current.get(metric)
+        then = baseline_results.get(metric)
+        if now is None or then is None or then <= 0:
+            print(f"{metric:<32}{'-':>14}{now or '-':>14}{'-':>8}")
+            continue
+        ratio = now / then
+        print(f"{metric:<32}{then:>14.1f}{now:>14.1f}{ratio:>7.2f}x")
+        if ratio < 1.0 / MAX_REGRESSION:
+            failures.append(
+                f"{metric} regressed {1.0 / ratio:.2f}x "
+                f"({then:.1f} -> {now:.1f} ops/s, allowed {MAX_REGRESSION}x)")
+
+    if failures:
+        print("\nPERF SMOKE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

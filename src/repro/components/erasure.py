@@ -6,16 +6,34 @@ this under-utilises a wireless broadcast channel (N - 1 unicast-style
 transmissions instead of one broadcast) and therefore prefers Bracha's RBC;
 the coder is still provided so the comparison can be made.
 
-The code is a systematic-free Reed-Solomon code over the prime field
-``F_p`` with ``p = 2^31 - 1``: the payload is chunked into field elements,
-interpreted as the coefficients of polynomials, and block ``i`` holds the
-evaluations at point ``i + 1``.  Any ``k`` blocks interpolate the polynomials
-and recover the payload.
+The code is a Reed-Solomon code over the prime field ``F_p`` with
+``p = 2^31 - 1``: the payload is chunked into field elements, interpreted as
+the coefficients of polynomials, and block ``i`` holds the evaluations at
+point ``i + 1``.  Any ``k`` blocks interpolate the polynomials and recover
+the payload.
+
+Decoding no longer expands Lagrange basis polynomials per payload polynomial
+(O(k^3) each): it builds the inverse-Vandermonde action once per distinct
+point set -- the matrix whose rows are the Lagrange basis coefficient
+vectors, computed in O(k^2) via synthetic division of the master polynomial
+-- caches it, and recovers each polynomial with an O(k^2) matrix-vector
+product.  The results are bit-identical to the naive interpolation (same
+field, same canonical representatives).
+
+``encode_blocks(..., systematic=True)`` additionally offers a *systematic*
+mode where the payload chunks are interpreted as the evaluations at points
+``1..k`` themselves: the first ``k`` blocks carry raw payload chunks (no
+polynomial evaluation at all) and decoding from exactly those blocks is a
+pass-through.  The default mode is unchanged and produces byte-identical
+blocks to the seed implementation.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
+from functools import lru_cache
+from operator import attrgetter
 
 _PRIME = 2**31 - 1
 _CHUNK_BYTES = 3  # 24-bit chunks always fit below 2^31 - 1
@@ -34,6 +52,7 @@ class ErasureBlock:
     values: tuple[int, ...]
     payload_length: int
     num_data_blocks: int
+    systematic: bool = False
 
     def size_bytes(self) -> int:
         """Approximate wire size of the block."""
@@ -51,10 +70,64 @@ def _unchunk(values: list[int], length: int) -> bytes:
     return raw[:length]
 
 
-def encode_blocks(data: bytes, num_data_blocks: int,
-                  num_blocks: int) -> list[ErasureBlock]:
+@lru_cache(maxsize=512)
+def _lagrange_basis_columns(points: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    """Columns of the interpolation matrix for ``points``.
+
+    Row ``i`` of the matrix holds the coefficients (low-to-high) of the
+    Lagrange basis polynomial ``L_i`` with ``L_i(points[j]) = delta_ij``;
+    multiplying evaluations by the matrix recovers polynomial coefficients.
+    Returned transposed (as columns, one per coefficient degree) so decoding
+    can take dot products against the evaluation vector directly.
+
+    Built in O(k^2): one master-polynomial product, then one synthetic
+    division and one Horner evaluation per point.
+    """
+    k = len(points)
+    # Master polynomial M(x) = prod (x - x_j), coefficients low-to-high.
+    master = [1]
+    for x in points:
+        shifted = [0] * (len(master) + 1)
+        for degree, coefficient in enumerate(master):
+            shifted[degree] = (shifted[degree] - x * coefficient) % _PRIME
+            shifted[degree + 1] = (shifted[degree + 1] + coefficient) % _PRIME
+        master = shifted
+    rows = []
+    for x_i in points:
+        # Synthetic division: Q_i = M / (x - x_i), degree k - 1.
+        quotient = [0] * k
+        carry = 0
+        for degree in range(k, 0, -1):
+            carry = (master[degree] + carry * x_i) % _PRIME
+            quotient[degree - 1] = carry
+        # Q_i(x_i) = prod_{j != i} (x_i - x_j), the basis denominator.
+        acc = 0
+        for coefficient in reversed(quotient):
+            acc = (acc * x_i + coefficient) % _PRIME
+        inverse = pow(acc, -1, _PRIME)
+        rows.append([coefficient * inverse % _PRIME for coefficient in quotient])
+    return tuple(tuple(row[degree] for row in rows) for degree in range(k))
+
+
+def _interpolate_via_matrix(points: tuple[int, ...],
+                            values: list[int]) -> list[int]:
+    """Coefficients (low-to-high) of the interpolant through the points."""
+    columns = _lagrange_basis_columns(points)
+    return [sum(value * weight for value, weight in zip(values, column)) % _PRIME
+            for column in columns]
+
+
+def encode_blocks(data: bytes, num_data_blocks: int, num_blocks: int,
+                  systematic: bool = False) -> list[ErasureBlock]:
     """Encode ``data`` into ``num_blocks`` blocks, any ``num_data_blocks`` of
-    which suffice to decode."""
+    which suffice to decode.
+
+    With ``systematic=True`` the payload chunks are used directly as the
+    evaluations at points ``1..k``, so the first ``k`` blocks are raw payload
+    slices and only the ``n - k`` parity blocks cost polynomial evaluations.
+    The default (non-systematic) encoding is byte-identical to the seed
+    implementation.
+    """
     if num_data_blocks < 1:
         raise ErasureError(f"need at least 1 data block, got {num_data_blocks}")
     if num_blocks < num_data_blocks:
@@ -64,19 +137,22 @@ def encode_blocks(data: bytes, num_data_blocks: int,
     if not chunks:
         chunks = [0]
     # Group chunks into polynomials of degree < num_data_blocks.
-    polynomials: list[list[int]] = []
+    groups: list[list[int]] = []
     for start in range(0, len(chunks), num_data_blocks):
-        coefficients = chunks[start:start + num_data_blocks]
-        coefficients += [0] * (num_data_blocks - len(coefficients))
-        polynomials.append(coefficients)
+        group = chunks[start:start + num_data_blocks]
+        group += [0] * (num_data_blocks - len(group))
+        groups.append(group)
+    if systematic:
+        return _encode_systematic(data, groups, num_data_blocks, num_blocks)
+    prime = _PRIME
     blocks = []
     for index in range(num_blocks):
         point = index + 1
         values = []
-        for coefficients in polynomials:
+        for coefficients in groups:
             acc = 0
             for coefficient in reversed(coefficients):
-                acc = (acc * point + coefficient) % _PRIME
+                acc = (acc * point + coefficient) % prime
             values.append(acc)
         blocks.append(ErasureBlock(index=index, point=point, values=tuple(values),
                                    payload_length=len(data),
@@ -84,37 +160,94 @@ def encode_blocks(data: bytes, num_data_blocks: int,
     return blocks
 
 
+def _encode_systematic(data: bytes, groups: list[list[int]],
+                       num_data_blocks: int, num_blocks: int) -> list[ErasureBlock]:
+    """Systematic fast path: chunks are the evaluations at points ``1..k``."""
+    prime = _PRIME
+    data_points = tuple(range(1, num_data_blocks + 1))
+    blocks = []
+    for index in range(num_data_blocks):
+        values = tuple(group[index] for group in groups)
+        blocks.append(ErasureBlock(index=index, point=index + 1, values=values,
+                                   payload_length=len(data),
+                                   num_data_blocks=num_data_blocks,
+                                   systematic=True))
+    if num_blocks > num_data_blocks:
+        coefficient_groups = [_interpolate_via_matrix(data_points, group)
+                              for group in groups]
+        for index in range(num_data_blocks, num_blocks):
+            point = index + 1
+            values = []
+            for coefficients in coefficient_groups:
+                acc = 0
+                for coefficient in reversed(coefficients):
+                    acc = (acc * point + coefficient) % prime
+                values.append(acc)
+            blocks.append(ErasureBlock(index=index, point=point,
+                                       values=tuple(values),
+                                       payload_length=len(data),
+                                       num_data_blocks=num_data_blocks,
+                                       systematic=True))
+    return blocks
+
+
 def decode_blocks(blocks: list[ErasureBlock]) -> bytes:
     """Recover the payload from at least ``num_data_blocks`` distinct blocks."""
     if not blocks:
         raise ErasureError("no blocks to decode")
-    num_data_blocks = blocks[0].num_data_blocks
-    payload_length = blocks[0].payload_length
+    reference = blocks[0]
+    num_data_blocks = reference.num_data_blocks
+    payload_length = reference.payload_length
+    systematic = reference.systematic
     distinct: dict[int, ErasureBlock] = {}
     for block in blocks:
         if block.num_data_blocks != num_data_blocks:
             raise ErasureError("blocks come from different encodings")
+        if block.payload_length != payload_length:
+            raise ErasureError(
+                f"inconsistent payload lengths across blocks "
+                f"({block.payload_length} != {payload_length})")
+        if block.systematic != systematic:
+            raise ErasureError("systematic and non-systematic blocks mixed")
         distinct.setdefault(block.point, block)
     if len(distinct) < num_data_blocks:
         raise ErasureError(
             f"need {num_data_blocks} distinct blocks, got {len(distinct)}")
-    selected = sorted(distinct.values(), key=lambda b: b.point)[:num_data_blocks]
-    points = [block.point for block in selected]
+    selected = heapq.nsmallest(num_data_blocks, distinct.values(),
+                               key=attrgetter("point"))
+    points = tuple(block.point for block in selected)
     num_polynomials = len(selected[0].values)
-    # Lagrange interpolation of each polynomial's coefficients via evaluation
-    # at the required points; we recover coefficients by solving with the
-    # classic Lagrange basis evaluated at x = 0..k-1 is unnecessary -- we just
-    # need the coefficients, so interpolate the polynomial explicitly.
-    chunks: list[int] = []
+    data_points = tuple(range(1, num_data_blocks + 1))
+    if systematic and points == data_points:
+        # Pass-through: the selected blocks hold the payload chunks directly.
+        chunks = [block.values[poly_index] for poly_index in range(num_polynomials)
+                  for block in selected]
+        return _unchunk(chunks, payload_length)
+    chunks = []
     for poly_index in range(num_polynomials):
         values = [block.values[poly_index] for block in selected]
-        coefficients = _interpolate_coefficients(points, values)
-        chunks.extend(coefficients)
+        coefficients = _interpolate_via_matrix(points, values)
+        if systematic:
+            # The payload chunks are the evaluations at points 1..k.
+            prime = _PRIME
+            for point in data_points:
+                acc = 0
+                for coefficient in reversed(coefficients):
+                    acc = (acc * point + coefficient) % prime
+                chunks.append(acc)
+        else:
+            chunks.extend(coefficients)
     return _unchunk(chunks, payload_length)
 
 
 def _interpolate_coefficients(points: list[int], values: list[int]) -> list[int]:
-    """Recover polynomial coefficients (low-to-high) from point evaluations."""
+    """Recover polynomial coefficients (low-to-high) from point evaluations.
+
+    This is the seed implementation (per-basis Lagrange expansion, O(k^3)).
+    It is kept as the reference for the bit-identity property tests and the
+    hot-path micro-benchmarks; production decoding goes through
+    :func:`_interpolate_via_matrix`.
+    """
     k = len(points)
     # Build the polynomial as a coefficient vector via Lagrange basis expansion.
     coefficients = [0] * k

@@ -8,6 +8,7 @@ Schnorr group used by :mod:`repro.crypto.group`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 
@@ -126,8 +127,38 @@ def lagrange_coefficients_at_zero(field: PrimeField,
 
     ``xs`` must be distinct and non-zero modulo ``q``.  This is the combining
     step for Shamir shares and for threshold signature/coin shares (where the
-    combination happens in the exponent).
+    combination happens in the exponent).  Every combiner re-derives the
+    coefficients for the same few signer sets over and over, so the result is
+    memoised on the (modulus, point tuple) pair; the cached path is
+    bit-identical to :func:`lagrange_coefficients_at_zero_reference`.
     """
+    points = tuple(field.reduce(x) for x in xs)
+    if len(set(points)) != len(points):
+        raise FieldError(f"duplicate share indices in {list(xs)}")
+    if any(p == 0 for p in points):
+        raise FieldError("share index 0 is reserved for the secret")
+    return list(_lagrange_at_zero_cached(field.q, points))
+
+
+@lru_cache(maxsize=4096)
+def _lagrange_at_zero_cached(q: int, points: tuple[int, ...]) -> tuple[int, ...]:
+    field = PrimeField(q)
+    coefficients = []
+    for i, x_i in enumerate(points):
+        numerator = 1
+        denominator = 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, field.neg(x_j))
+            denominator = field.mul(denominator, field.sub(x_i, x_j))
+        coefficients.append(field.div(numerator, denominator))
+    return tuple(coefficients)
+
+
+def lagrange_coefficients_at_zero_reference(field: PrimeField,
+                                            xs: Sequence[int]) -> list[int]:
+    """Uncached Lagrange coefficients (the seed implementation)."""
     points = [field.reduce(x) for x in xs]
     if len(set(points)) != len(points):
         raise FieldError(f"duplicate share indices in {list(xs)}")

@@ -18,12 +18,14 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.crypto.fastpath import multi_exp
 from repro.crypto.field import lagrange_coefficients_at_zero
 from repro.crypto.group import (
     ChaumPedersenProof,
     DEFAULT_GROUP,
     Group,
     prove_dlog_equality,
+    select_shares_batched,
     verify_dlog_equality,
 )
 from repro.crypto.shamir import ShamirDealer
@@ -75,24 +77,44 @@ class ThresholdCoinPublicKey:
                                     value_g=verify_key, value_h=share.value,
                                     context=b"tcoin-share")
 
-    def combine(self, tag: bytes, shares: Sequence[CoinShare],
-                verify: bool = True) -> int:
-        """Combine shares into the coin value for ``tag`` (0 or 1)."""
-        distinct: dict[int, CoinShare] = {}
-        for share in shares:
-            if verify and not self.verify_share(tag, share):
-                continue
-            distinct.setdefault(share.signer, share)
+    def _combine_element(self, tag: bytes, shares: Sequence[CoinShare],
+                         verify: bool) -> int:
+        """Deduplicate, verify and Lagrange-combine shares into ``H(tag)^s``.
+
+        Verification batches every proof into one check (see
+        :func:`repro.crypto.group.batch_verify_dlog_equality`); a failed
+        batch falls back to the seed's verify-as-you-deduplicate loop, so
+        the combined element is identical to the unbatched implementation.
+        """
+        if verify:
+            point = self.tag_point(tag)
+            distinct = select_shares_batched(
+                self.group, point, shares, b"tcoin-share",
+                structural_ok=lambda s: (
+                    isinstance(s, CoinShare)
+                    and 1 <= s.signer <= self.num_parties
+                    and s.tag == tag),
+                statement_of=lambda s: (
+                    s.proof, self.share_verify_keys[s.signer - 1], s.value),
+                verify_one=lambda s: self.verify_share(tag, s))
+        else:
+            distinct = {}
+            for share in shares:
+                distinct.setdefault(share.signer, share)
         if len(distinct) < self.threshold:
             raise ThresholdCoinError(
                 f"need {self.threshold} valid coin shares, have {len(distinct)}")
         selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
         indices = [share.signer for share in selected]
         coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        combined = 1
-        for coefficient, share in zip(coefficients, selected):
-            combined = self.group.mul(combined,
-                                      self.group.exp(share.value, coefficient))
+        return multi_exp(
+            [(share.value, coefficient)
+             for coefficient, share in zip(coefficients, selected)], self.group.p)
+
+    def combine(self, tag: bytes, shares: Sequence[CoinShare],
+                verify: bool = True) -> int:
+        """Combine shares into the coin value for ``tag`` (0 or 1)."""
+        combined = self._combine_element(tag, shares, verify)
         digest = hashlib.sha256(
             b"coin-out" + self.group.element_to_bytes(combined)).digest()
         return digest[0] & 1
@@ -104,21 +126,7 @@ class ThresholdCoinPublicKey:
         Dumbo uses the coin output as a pseudorandom permutation seed (the
         global string pi); this helper exposes a wider output range.
         """
-        distinct: dict[int, CoinShare] = {}
-        for share in shares:
-            if verify and not self.verify_share(tag, share):
-                continue
-            distinct.setdefault(share.signer, share)
-        if len(distinct) < self.threshold:
-            raise ThresholdCoinError(
-                f"need {self.threshold} valid coin shares, have {len(distinct)}")
-        selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
-        indices = [share.signer for share in selected]
-        coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        combined = 1
-        for coefficient, share in zip(coefficients, selected):
-            combined = self.group.mul(combined,
-                                      self.group.exp(share.value, coefficient))
+        combined = self._combine_element(tag, shares, verify)
         digest = hashlib.sha256(
             b"coin-wide" + self.group.element_to_bytes(combined)).digest()
         return int.from_bytes(digest, "big") % modulus
@@ -160,9 +168,10 @@ class ThresholdCoinScheme:
         """Produce this node's coin share for ``tag``."""
         point = self.public_key.tag_point(tag)
         value = self.group.exp(point, self.private_share.secret)
+        # The dealer already published g^{s_i} as this node's verify key.
         proof = prove_dlog_equality(
             self.group, secret=self.private_share.secret, base_h=point,
-            value_g=self.group.power_of_g(self.private_share.secret),
+            value_g=self.public_key.share_verify_keys[self.private_share.index - 1],
             value_h=value, rng=rng, context=b"tcoin-share")
         return CoinShare(signer=self.private_share.index, tag=tag,
                          value=value, proof=proof)

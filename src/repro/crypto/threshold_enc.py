@@ -20,12 +20,14 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.crypto.fastpath import multi_exp
 from repro.crypto.field import lagrange_coefficients_at_zero
 from repro.crypto.group import (
     ChaumPedersenProof,
     DEFAULT_GROUP,
     Group,
     prove_dlog_equality,
+    select_shares_batched,
     verify_dlog_equality,
 )
 from repro.crypto.shamir import ShamirDealer
@@ -131,20 +133,28 @@ class ThresholdEncPublicKey:
     def combine(self, ciphertext: Ciphertext,
                 shares: Sequence[DecryptionShare], verify: bool = True) -> bytes:
         """Combine ``threshold`` valid decryption shares and recover the plaintext."""
-        distinct: dict[int, DecryptionShare] = {}
-        for share in shares:
-            if verify and not self.verify_share(ciphertext, share):
-                continue
-            distinct.setdefault(share.signer, share)
+        if verify:
+            distinct = select_shares_batched(
+                self.group, ciphertext.ephemeral, shares, b"tenc-share",
+                structural_ok=lambda s: (
+                    isinstance(s, DecryptionShare)
+                    and 1 <= s.signer <= self.num_parties),
+                statement_of=lambda s: (
+                    s.proof, self.share_verify_keys[s.signer - 1], s.value),
+                verify_one=lambda s: self.verify_share(ciphertext, s))
+        else:
+            distinct = {}
+            for share in shares:
+                distinct.setdefault(share.signer, share)
         if len(distinct) < self.threshold:
             raise ThresholdEncError(
                 f"need {self.threshold} valid decryption shares, have {len(distinct)}")
         selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
         indices = [share.signer for share in selected]
         coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        shared = 1
-        for coefficient, share in zip(coefficients, selected):
-            shared = self.group.mul(shared, self.group.exp(share.value, coefficient))
+        shared = multi_exp(
+            [(share.value, coefficient)
+             for coefficient, share in zip(coefficients, selected)], self.group.p)
         key_material = hashlib.sha256(
             b"tenc" + self.group.element_to_bytes(shared) + ciphertext.label).digest()
         return bytes(a ^ b for a, b in
@@ -181,10 +191,11 @@ class ThresholdEncScheme:
     def decryption_share(self, ciphertext: Ciphertext, rng) -> DecryptionShare:
         """Produce this node's decryption share for ``ciphertext``."""
         value = self.group.exp(ciphertext.ephemeral, self.private_share.secret)
+        # The dealer already published g^{s_i} as this node's verify key.
         proof = prove_dlog_equality(
             self.group, secret=self.private_share.secret,
             base_h=ciphertext.ephemeral,
-            value_g=self.group.power_of_g(self.private_share.secret),
+            value_g=self.public_key.share_verify_keys[self.private_share.index - 1],
             value_h=value, rng=rng, context=b"tenc-share")
         return DecryptionShare(signer=self.private_share.index, value=value,
                                proof=proof)

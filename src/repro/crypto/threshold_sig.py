@@ -19,12 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from functools import lru_cache
+
+from repro.crypto.fastpath import multi_exp
 from repro.crypto.field import lagrange_coefficients_at_zero
 from repro.crypto.group import (
     ChaumPedersenProof,
     DEFAULT_GROUP,
     Group,
+    batch_verify_dlog_equality,
     prove_dlog_equality,
+    select_shares_batched,
     verify_dlog_equality,
 )
 from repro.crypto.shamir import ShamirDealer
@@ -84,25 +89,76 @@ class ThresholdSigPublicKey:
                                     value_g=verify_key, value_h=share.value,
                                     context=b"tsig-share")
 
+    def verify_shares(self, message: bytes,
+                      shares: Sequence[ThresholdSigShare],
+                      ) -> tuple[list[ThresholdSigShare], list[ThresholdSigShare]]:
+        """Batch-verify many shares at once; returns ``(valid, invalid)``.
+
+        The happy path checks all proofs with one random-linear-combination
+        batch (two fixed-base exponentiations plus a single
+        multi-exponentiation) instead of four ``pow()`` calls per share.  If
+        the batch fails -- any corrupted share makes it fail with
+        overwhelming probability -- it falls back to per-share verification
+        to identify the culprits, so the result is always exact.
+        """
+        point = self.hash_message(message)
+        structural_bad: list[ThresholdSigShare] = []
+        candidates: list[ThresholdSigShare] = []
+        for share in shares:
+            if (not isinstance(share, ThresholdSigShare)
+                    or not 1 <= share.signer <= self.num_parties
+                    or share.message_point != point):
+                structural_bad.append(share)
+            else:
+                candidates.append(share)
+        statements = [(share.proof, self.share_verify_keys[share.signer - 1],
+                       share.value) for share in candidates]
+        if batch_verify_dlog_equality(self.group, point, statements,
+                                      context=b"tsig-share"):
+            return candidates, structural_bad
+        valid: list[ThresholdSigShare] = []
+        invalid = structural_bad
+        for share in candidates:
+            if self.verify_share(message, share):
+                valid.append(share)
+            else:
+                invalid.append(share)
+        return valid, invalid
+
     def combine(self, message: bytes,
                 shares: Sequence[ThresholdSigShare],
                 verify: bool = True) -> ThresholdSignature:
-        """Combine ``threshold`` valid shares into the threshold signature."""
-        distinct: dict[int, ThresholdSigShare] = {}
-        for share in shares:
-            if verify and not self.verify_share(message, share):
-                continue
-            distinct.setdefault(share.signer, share)
+        """Combine ``threshold`` valid shares into the threshold signature.
+
+        Verification uses the batch fast path; if it fails the seed's
+        verify-as-you-deduplicate loop runs instead, so the selected share
+        set (and the combined signature) is identical to the unbatched
+        implementation in every case.
+        """
+        if verify:
+            point = self.hash_message(message)
+            distinct = select_shares_batched(
+                self.group, point, shares, b"tsig-share",
+                structural_ok=lambda s: (
+                    isinstance(s, ThresholdSigShare)
+                    and 1 <= s.signer <= self.num_parties
+                    and s.message_point == point),
+                statement_of=lambda s: (
+                    s.proof, self.share_verify_keys[s.signer - 1], s.value),
+                verify_one=lambda s: self.verify_share(message, s))
+        else:
+            distinct = {}
+            for share in shares:
+                distinct.setdefault(share.signer, share)
         if len(distinct) < self.threshold:
             raise ThresholdSigError(
                 f"need {self.threshold} valid shares, have {len(distinct)}")
         selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
         indices = [share.signer for share in selected]
         coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        combined = 1
-        for coefficient, share in zip(coefficients, selected):
-            combined = self.group.mul(combined,
-                                      self.group.exp(share.value, coefficient))
+        combined = multi_exp(
+            [(share.value, coefficient)
+             for coefficient, share in zip(coefficients, selected)], self.group.p)
         return ThresholdSignature(message_point=self.hash_message(message),
                                   value=combined)
 
@@ -130,17 +186,23 @@ class ThresholdSigPublicKey:
         # combination of the share verify keys (Lagrange in the exponent over
         # the first `threshold` indices).  This keeps verification free of any
         # secret material.
-        indices = list(range(1, self.threshold + 1))
-        coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
         # g^s recomputed from share verify keys must match the master key;
         # the signature itself is checked by the combiner's share proofs, so
-        # here we check group membership + master-key consistency.
-        reconstructed_master = 1
-        for coefficient, index in zip(coefficients, indices):
-            reconstructed_master = self.group.mul(
-                reconstructed_master,
-                self.group.exp(self.share_verify_keys[index - 1], coefficient))
-        return reconstructed_master == self.master_verify_key
+        # here we check group membership + master-key consistency.  The
+        # reconstruction only depends on the public key, so it is memoised.
+        return _reconstructed_master_key(self) == self.master_verify_key
+
+
+@lru_cache(maxsize=256)
+def _reconstructed_master_key(public_key: "ThresholdSigPublicKey") -> int:
+    """Lagrange-reconstruct ``g^s`` from the first ``threshold`` verify keys."""
+    indices = list(range(1, public_key.threshold + 1))
+    coefficients = lagrange_coefficients_at_zero(
+        public_key.group.scalar_field, indices)
+    return multi_exp(
+        [(public_key.share_verify_keys[index - 1], coefficient)
+         for coefficient, index in zip(coefficients, indices)],
+        public_key.group.p)
 
 
 @dataclass(frozen=True)
@@ -169,9 +231,10 @@ class ThresholdSigScheme:
         """Produce this node's signature share on ``message``."""
         point = self.public_key.hash_message(message)
         value = self.group.exp(point, self.private_share.secret)
+        # The dealer already published g^{s_i} as this node's verify key.
         proof = prove_dlog_equality(
             self.group, secret=self.private_share.secret, base_h=point,
-            value_g=self.group.power_of_g(self.private_share.secret),
+            value_g=self.public_key.share_verify_keys[self.private_share.index - 1],
             value_h=value, rng=rng, context=b"tsig-share")
         return ThresholdSigShare(signer=self.private_share.index,
                                  message_point=point, value=value, proof=proof)

@@ -1,9 +1,17 @@
 """Deterministic discrete-event simulation kernel.
 
 Every experiment in this reproduction runs on virtual time.  The kernel is a
-plain binary-heap event queue with a monotonically increasing sequence number
-used to break ties, which makes runs fully deterministic for a given seed and
+binary-heap event queue with a monotonically increasing sequence number used
+to break ties, which makes runs fully deterministic for a given seed and
 schedule of calls.
+
+Heap entries are plain ``(time, seq, event)`` tuples: tuple comparison is
+implemented in C, whereas the previous ``order=True`` dataclass dispatched
+every ``<`` through generated Python code, which dominated heap operations in
+large-n runs.  Cancelled events are skipped when popped; when too many
+cancelled entries accumulate (heavy retransmission-timer churn) the queue is
+compacted in place so memory and pop costs stay proportional to the live
+event count.
 
 The kernel deliberately stays tiny: processes are modelled as callbacks, and
 higher-level abstractions (timers, periodic timers) are provided as thin
@@ -16,32 +24,43 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
+
+# Compact the heap once at least this many cancelled events are queued AND
+# they outnumber the live ones (amortised O(1) per cancellation).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an invalid state."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, seq)`` so the heap pops them in timestamp order
-    with FIFO tie-breaking.  Cancelled events stay in the heap but are skipped
-    when popped.
+    The simulator orders events by ``(time, seq)`` (timestamp order with FIFO
+    tie-breaking).  Cancelled events stay in the heap but are skipped when
+    popped, and are reclaimed wholesale by queue compaction.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "_cancel_tally")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 cancelled: bool = False, label: str = "",
+                 cancel_tally: Optional[list[int]] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.label = label
+        self._cancel_tally = cancel_tally
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._cancel_tally is not None:
+                self._cancel_tally[0] += 1
 
 
 class Simulator:
@@ -56,13 +75,16 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self.rng = random.Random(seed)
         self.seed = seed
         self._running = False
         self._events_processed = 0
+        # Shared mutable tally of cancelled-but-queued events; Event.cancel
+        # increments it so the simulator knows when compaction pays off.
+        self._cancelled_queued = [0]
 
     # ------------------------------------------------------------------ time
     @property
@@ -81,10 +103,7 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=next(self._seq),
-                      callback=callback, label=label)
-        heapq.heappush(self._queue, event)
-        return event
+        return self._push(self._now + delay, callback, label)
 
     def schedule_at(self, when: float, callback: Callable[[], None],
                     label: str = "") -> Event:
@@ -92,9 +111,28 @@ class Simulator:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event at {when} before current time {self._now}")
-        event = Event(time=when, seq=next(self._seq), callback=callback, label=label)
-        heapq.heappush(self._queue, event)
+        return self._push(when, callback, label)
+
+    def _push(self, when: float, callback: Callable[[], None],
+              label: str) -> Event:
+        event = Event(time=when, seq=next(self._seq), callback=callback,
+                      label=label, cancel_tally=self._cancelled_queued)
+        heapq.heappush(self._queue, (when, event.seq, event))
+        cancelled = self._cancelled_queued[0]
+        if (cancelled >= _COMPACT_MIN_CANCELLED
+                and cancelled * 2 > len(self._queue)):
+            self._compact()
         return event
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (heap order is preserved
+        by rebuilding; (time, seq) keys make the result deterministic).
+
+        Mutates the list in place: the run loops hold a local reference to it.
+        """
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_queued[0] = 0
 
     def call_soon(self, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at the current time (after pending same-time events)."""
@@ -110,16 +148,24 @@ class Simulator:
         """
         self._running = True
         processed_this_run = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
-                if until is not None and event.time > until:
+            while queue:
+                when, _, event = queue[0]
+                if until is not None and when > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
                 if event.cancelled:
+                    self._cancelled_queued[0] -= 1
                     continue
-                self._now = event.time
+                # Detach the tally: a cancel() after the pop (e.g. a periodic
+                # timer stopped from inside its own callback) must not count
+                # an event that is no longer queued, or the compaction
+                # heuristic would fire on a queue with nothing to reclaim.
+                event._cancel_tally = None
+                self._now = when
                 event.callback()
                 self._events_processed += 1
                 processed_this_run += 1
@@ -132,25 +178,30 @@ class Simulator:
             self._running = False
         return self._now
 
-    def run_until(self, predicate: Callable[[], bool], timeout: float,
-                  check_interval: float = 0.5) -> bool:
+    def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
         """Run until ``predicate()`` is true or ``timeout`` virtual seconds pass.
 
         The predicate is evaluated after every processed event.  Returns True
         if the predicate became true, False on timeout or queue exhaustion.
+        (A ``check_interval`` parameter used to exist but was silently
+        ignored; it has been removed rather than given surprise semantics.)
         """
         deadline = self._now + timeout
         if predicate():
             return True
-        while self._queue:
-            event = self._queue[0]
-            if event.time > deadline:
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            when, _, event = queue[0]
+            if when > deadline:
                 self._now = deadline
                 return predicate()
-            heapq.heappop(self._queue)
+            pop(queue)
             if event.cancelled:
+                self._cancelled_queued[0] -= 1
                 continue
-            self._now = event.time
+            event._cancel_tally = None  # see run(): popped events must not tally
+            self._now = when
             event.callback()
             self._events_processed += 1
             if predicate():

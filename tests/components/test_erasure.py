@@ -1,9 +1,18 @@
 """Tests for the Reed-Solomon erasure coder used by Cachin's RBC."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.components.erasure import ErasureError, decode_blocks, encode_blocks
+from repro.components.erasure import (
+    ErasureError,
+    _PRIME,
+    _interpolate_coefficients,
+    _interpolate_via_matrix,
+    decode_blocks,
+    encode_blocks,
+)
 
 
 class TestErasureCoding:
@@ -60,3 +69,76 @@ class TestErasureCoding:
         n = k + extra
         blocks = encode_blocks(data, num_data_blocks=k, num_blocks=n)
         assert decode_blocks(blocks[-k:]) == data
+
+
+class TestMatrixDecoder:
+    """The cached-matrix decoder must be bit-identical to the seed's
+    per-basis Lagrange expansion (kept as ``_interpolate_coefficients``)."""
+
+    @given(k=st.integers(min_value=1, max_value=16),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_matches_reference_interpolation(self, k, seed):
+        rng = random.Random(seed)
+        points = rng.sample(range(1, 200), k)
+        values = [rng.randrange(_PRIME) for _ in range(k)]
+        assert _interpolate_via_matrix(tuple(points), values) == \
+            _interpolate_coefficients(points, values)
+
+    def test_decode_uses_k_smallest_points(self):
+        # The decoder must select the k smallest points of an over-supplied
+        # set (seed behaviour: full sort, take first k), whatever the order.
+        data = b"selection order should not matter"
+        blocks = encode_blocks(data, num_data_blocks=3, num_blocks=8)
+        shuffled = [blocks[6], blocks[1], blocks[4], blocks[0], blocks[7]]
+        assert decode_blocks(shuffled) == data
+
+    def test_payload_length_mismatch_rejected(self):
+        blocks_a = encode_blocks(b"AAAA", num_data_blocks=2, num_blocks=4)
+        blocks_b = encode_blocks(b"BBBBBB", num_data_blocks=2, num_blocks=4)
+        with pytest.raises(ErasureError, match="payload length"):
+            decode_blocks([blocks_a[0], blocks_b[1]])
+
+    def test_large_k_roundtrip(self):
+        rng = random.Random(12)
+        data = bytes(rng.randrange(256) for _ in range(900))
+        blocks = encode_blocks(data, num_data_blocks=32, num_blocks=48)
+        assert decode_blocks(blocks[10:42]) == data
+
+
+class TestSystematicEncoding:
+    def test_default_mode_unchanged(self):
+        data = b"systematic flag must not change the default encoding"
+        plain = encode_blocks(data, num_data_blocks=3, num_blocks=5)
+        explicit = encode_blocks(data, num_data_blocks=3, num_blocks=5,
+                                 systematic=False)
+        assert plain == explicit
+        assert all(not block.systematic for block in plain)
+
+    def test_data_blocks_are_raw_payload_chunks(self):
+        # 6 bytes -> two 3-byte chunks; with k=2 the two data blocks carry
+        # one chunk each, verbatim.
+        data = b"\x00\x01\x02\x03\x04\x05"
+        blocks = encode_blocks(data, num_data_blocks=2, num_blocks=4,
+                               systematic=True)
+        assert blocks[0].values == (0x000102,)
+        assert blocks[1].values == (0x030405,)
+
+    @given(data=st.binary(min_size=0, max_size=200),
+           k=st.integers(min_value=1, max_value=5),
+           extra=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_systematic_roundtrip_any_subset(self, data, k, extra):
+        n = k + extra
+        blocks = encode_blocks(data, num_data_blocks=k, num_blocks=n,
+                               systematic=True)
+        assert decode_blocks(blocks[:k]) == data      # pass-through path
+        assert decode_blocks(blocks[-k:]) == data     # parity-heavy path
+
+    def test_mixed_systematic_flags_rejected(self):
+        data = b"no mixing"
+        plain = encode_blocks(data, num_data_blocks=2, num_blocks=4)
+        systematic = encode_blocks(data, num_data_blocks=2, num_blocks=4,
+                                   systematic=True)
+        with pytest.raises(ErasureError, match="systematic"):
+            decode_blocks([plain[0], systematic[1]])

@@ -1,0 +1,216 @@
+"""Tests for random-linear-combination batch verification of shares.
+
+The batch path must accept exactly the share sets the per-share verifier
+accepts, detect any corrupted share in a batch, and fall back to per-share
+verification to identify the culprit -- so protocols can use it blindly.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.group import (
+    DEFAULT_GROUP,
+    batch_verify_dlog_equality,
+    prove_dlog_equality,
+)
+from repro.crypto.threshold_coin import deal_threshold_coin
+from repro.crypto.threshold_enc import deal_threshold_enc
+from repro.crypto.threshold_sig import ThresholdSigError, deal_threshold_sig
+
+NUM_PARTIES = 16
+THRESHOLD = 6  # t + 1 with t = 5
+
+
+@pytest.fixture()
+def sig_setup():
+    rng = random.Random(99)
+    schemes = deal_threshold_sig(NUM_PARTIES, THRESHOLD, rng)
+    message = b"batch verification message"
+    shares = [scheme.sign_share(message, rng) for scheme in schemes[:THRESHOLD + 2]]
+    return rng, schemes, message, shares
+
+
+class TestBatchDlogEquality:
+    def _statements(self, count, rng):
+        group = DEFAULT_GROUP
+        base_h = group.hash_to_group(b"batch-base")
+        statements = []
+        for _ in range(count):
+            secret = group.random_scalar(rng)
+            value_g = group.power_of_g(secret)
+            value_h = group.exp(base_h, secret)
+            proof = prove_dlog_equality(group, secret, base_h, value_g,
+                                        value_h, rng, context=b"ctx")
+            statements.append((proof, value_g, value_h))
+        return base_h, statements
+
+    def test_valid_batch_accepts(self):
+        rng = random.Random(1)
+        base_h, statements = self._statements(6, rng)
+        assert batch_verify_dlog_equality(DEFAULT_GROUP, base_h, statements,
+                                          context=b"ctx")
+
+    def test_empty_batch_accepts(self):
+        assert batch_verify_dlog_equality(DEFAULT_GROUP, 5, [], context=b"ctx")
+
+    def test_single_corrupted_value_rejected(self):
+        rng = random.Random(2)
+        group = DEFAULT_GROUP
+        base_h, statements = self._statements(6, rng)
+        for position in (0, 3, 5):
+            corrupted = list(statements)
+            proof, value_g, value_h = corrupted[position]
+            corrupted[position] = (proof, value_g, group.mul(value_h, group.g))
+            assert not batch_verify_dlog_equality(group, base_h, corrupted,
+                                                  context=b"ctx")
+
+    def test_corrupted_response_rejected(self):
+        rng = random.Random(3)
+        group = DEFAULT_GROUP
+        base_h, statements = self._statements(4, rng)
+        proof, value_g, value_h = statements[2]
+        forged = type(proof)(commitment_g=proof.commitment_g,
+                             commitment_h=proof.commitment_h,
+                             response=(proof.response + 1) % group.q)
+        statements[2] = (forged, value_g, value_h)
+        assert not batch_verify_dlog_equality(group, base_h, statements,
+                                              context=b"ctx")
+
+    def test_non_member_rejected(self):
+        rng = random.Random(4)
+        group = DEFAULT_GROUP
+        base_h, statements = self._statements(3, rng)
+        proof, value_g, value_h = statements[1]
+        # p - x is outside the order-q subgroup for any member x.
+        statements[1] = (proof, value_g, group.p - value_h)
+        assert not batch_verify_dlog_equality(group, base_h, statements,
+                                              context=b"ctx")
+
+    def test_wrong_context_rejected(self):
+        rng = random.Random(5)
+        base_h, statements = self._statements(3, rng)
+        assert not batch_verify_dlog_equality(DEFAULT_GROUP, base_h,
+                                              statements, context=b"other")
+
+    def test_negated_commitments_rejected(self):
+        # Regression: a proof with BOTH commitments negated (order-2q
+        # elements) and the response recomputed for the resulting challenge
+        # satisfies the batched product -- the two (-1) components cancel for
+        # any odd randomizer -- so without explicit commitment membership
+        # checks the batch accepted what per-share verification rejects.
+        rng = random.Random(6)
+        group = DEFAULT_GROUP
+        base_h, statements = self._statements(3, rng)
+        from repro.crypto.group import ChaumPedersenProof, _challenge, \
+            verify_dlog_equality
+        secret = group.random_scalar(rng)
+        value_g = group.power_of_g(secret)
+        value_h = group.exp(base_h, secret)
+        nonce = group.random_scalar(rng)
+        commitment_g = group.p - group.power_of_g(nonce)
+        commitment_h = group.p - group.exp(base_h, nonce)
+        challenge = _challenge(group, b"ctx", base_h, value_g, value_h,
+                               commitment_g, commitment_h)
+        forged = ChaumPedersenProof(
+            commitment_g=commitment_g, commitment_h=commitment_h,
+            response=(nonce + challenge * secret) % group.q)
+        assert not verify_dlog_equality(group, forged, base_h, value_g,
+                                        value_h, context=b"ctx")
+        assert not batch_verify_dlog_equality(
+            group, base_h, statements + [(forged, value_g, value_h)],
+            context=b"ctx")
+
+
+class TestVerifySharesBatch:
+    def test_all_valid(self, sig_setup):
+        _, schemes, message, shares = sig_setup
+        public_key = schemes[0].public_key
+        valid, invalid = public_key.verify_shares(message, shares)
+        assert valid == shares
+        assert invalid == []
+
+    def test_single_corrupted_share_identified(self, sig_setup):
+        _, schemes, message, shares = sig_setup
+        public_key = schemes[0].public_key
+        group = public_key.group
+        bad = shares[3]
+        forged = type(bad)(signer=bad.signer, message_point=bad.message_point,
+                           value=group.mul(bad.value, group.g), proof=bad.proof)
+        batch = shares[:3] + [forged] + shares[4:]
+        valid, invalid = public_key.verify_shares(message, batch)
+        assert invalid == [forged]
+        assert valid == shares[:3] + shares[4:]
+
+    def test_structurally_bad_share_identified(self, sig_setup):
+        _, schemes, message, shares = sig_setup
+        public_key = schemes[0].public_key
+        bad = shares[0]
+        out_of_range = type(bad)(signer=NUM_PARTIES + 3,
+                                 message_point=bad.message_point,
+                                 value=bad.value, proof=bad.proof)
+        valid, invalid = public_key.verify_shares(
+            message, [out_of_range] + shares[1:])
+        assert invalid == [out_of_range]
+        assert valid == shares[1:]
+
+    def test_combine_survives_corrupted_share(self, sig_setup):
+        _, schemes, message, shares = sig_setup
+        public_key = schemes[0].public_key
+        group = public_key.group
+        clean_signature = public_key.combine(message, shares)
+        bad = shares[0]
+        forged = type(bad)(signer=bad.signer, message_point=bad.message_point,
+                           value=group.mul(bad.value, group.g), proof=bad.proof)
+        # The corrupted share trips the batch, the fallback drops it, and the
+        # remaining >= threshold valid shares combine to the same signature
+        # (Lagrange interpolation is independent of the share subset).
+        signature = public_key.combine(message, [forged] + shares[1:])
+        assert signature == clean_signature
+
+    def test_combine_raises_when_too_few_valid(self, sig_setup):
+        _, schemes, message, shares = sig_setup
+        public_key = schemes[0].public_key
+        group = public_key.group
+        forged = []
+        for share in shares[:3]:
+            forged.append(type(share)(signer=share.signer,
+                                      message_point=share.message_point,
+                                      value=group.mul(share.value, group.g),
+                                      proof=share.proof))
+        with pytest.raises(ThresholdSigError):
+            public_key.combine(message, forged + shares[3:THRESHOLD - 1])
+
+
+class TestCoinAndEncBatchPaths:
+    def test_coin_combine_with_corrupted_share(self):
+        rng = random.Random(7)
+        schemes = deal_threshold_coin(NUM_PARTIES, THRESHOLD, rng)
+        public_key = schemes[0].public_key
+        group = public_key.group
+        tag = b"round-5-coin"
+        shares = [scheme.coin_share(tag, rng)
+                  for scheme in schemes[:THRESHOLD + 1]]
+        clean_value = public_key.combine(tag, shares)
+        bad = shares[2]
+        forged = type(bad)(signer=bad.signer, tag=bad.tag,
+                           value=group.mul(bad.value, group.g), proof=bad.proof)
+        corrupted = shares[:2] + [forged] + shares[3:]
+        assert public_key.combine(tag, corrupted) == clean_value
+        assert public_key.combine_value(tag, corrupted, 1 << 32) == \
+            public_key.combine_value(tag, shares, 1 << 32)
+
+    def test_enc_combine_with_corrupted_share(self):
+        rng = random.Random(8)
+        schemes = deal_threshold_enc(NUM_PARTIES, THRESHOLD, rng)
+        public_key = schemes[0].public_key
+        group = public_key.group
+        plaintext = b"the censored transaction batch"
+        ciphertext = public_key.encrypt(plaintext, b"label", rng)
+        shares = [scheme.decryption_share(ciphertext, rng)
+                  for scheme in schemes[:THRESHOLD + 1]]
+        assert public_key.combine(ciphertext, shares) == plaintext
+        bad = shares[0]
+        forged = type(bad)(signer=bad.signer,
+                           value=group.mul(bad.value, group.g), proof=bad.proof)
+        assert public_key.combine(ciphertext, [forged] + shares[1:]) == plaintext

@@ -111,6 +111,60 @@ class TestSimulator:
         assert fired == ["now"]
         assert sim.now == 0.0
 
+    def test_cancelled_backlog_is_compacted(self):
+        # Heavy timer churn (cancel/restart) must not let dead entries pile
+        # up: once cancelled events dominate, the queue compacts in place.
+        sim = Simulator()
+        events = [sim.schedule(1000.0, lambda: None) for _ in range(500)]
+        for event in events:
+            event.cancel()
+        sim.schedule(1.0, lambda: None)  # triggers the compaction check
+        assert sim.pending_events() < 100
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim._cancelled_queued[0] == 1
+        sim.run()
+        assert sim._cancelled_queued[0] == 0
+
+    def test_cancel_after_pop_does_not_inflate_tally(self):
+        # Regression: stopping a periodic timer from inside its own callback
+        # cancels the already-popped event; that must not count toward the
+        # cancelled-queued tally or compaction fires on queues with nothing
+        # to reclaim.
+        sim = Simulator()
+        timers = []
+
+        def make_stopper(timer_index):
+            def fire():
+                timers[timer_index].stop()
+            return fire
+
+        for index in range(100):
+            timers.append(PeriodicTimer(sim, 1.0, make_stopper(index)))
+            timers[index].start()
+        sim.run(until=5.0)
+        assert sim._cancelled_queued[0] == 0
+
+    def test_compaction_preserves_order_and_determinism(self):
+        def drive(compact: bool) -> list:
+            sim = Simulator(seed=9)
+            order = []
+            for index in range(200):
+                sim.schedule(1.0 + (index % 7) * 0.25,
+                             lambda i=index: order.append(i))
+            victims = [sim.schedule(50.0, lambda: order.append("dead"))
+                       for _ in range(300 if compact else 0)]
+            for victim in victims:
+                victim.cancel()
+            sim.schedule(0.5, lambda: order.append("first"))
+            sim.run()
+            return order
+        assert drive(compact=True) == drive(compact=False)
+
 
 class TestTimer:
     def test_timer_fires(self):
