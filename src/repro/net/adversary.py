@@ -5,19 +5,29 @@ delays between nodes are unbounded (but honest-to-honest messages are
 eventually delivered), the adversary may reorder deliveries, and up to ``f``
 of the ``N = 3f + 1`` nodes are Byzantine.
 
-In the simulator the adversary manifests in two places:
+In the simulator the adversary manifests in three places:
 
 * the :class:`DelayModel` adds per-link delivery delays (random jitter plus
   targeted extra delay on chosen sender/receiver pairs), which exercises the
-  protocols' timing-assumption-free design; and
+  protocols' timing-assumption-free design;
+* :class:`LinkFaultSpec` / :class:`PartitionSpec` describe message-level
+  attacks within the asynchronous model -- targeted drop, duplication,
+  reordering and (transient) link partitions -- applied by the channel through
+  :meth:`AsyncAdversary.plan_delivery`; and
 * the :class:`AsyncAdversary` records which nodes are Byzantine; their
   *behaviour* (silence, equivocation, adversarial votes) is implemented by
   the strategies in :mod:`repro.testbed.byzantine` and plugged into the
   protocol layer.
+
+Dropped frames are indistinguishable from unbounded delay from the protocols'
+point of view, so they are only admissible on links the retransmission layer
+repairs (NACK resends) or for a bounded window (a healing partition);
+permanent total silence of an honest link would violate eventual delivery.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -44,13 +54,108 @@ class DelayModel:
         return min(jitter + extra, self.max_delay_s)
 
 
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Message-level faults on a set of links, active over a time window.
+
+    Each delivery on a matching link is independently dropped with
+    ``drop_rate``, delivered twice with ``duplicate_rate`` (the duplicate gets
+    its own extra delay, exercising at-most-once handling), and delayed by an
+    extra uniform jitter up to ``reorder_jitter_s`` (large enough jitter
+    reorders deliveries relative to the send order).
+
+    ``senders`` / ``receivers`` restrict the affected links (``None`` matches
+    every node); ``start_s`` / ``end_s`` bound the active window in virtual
+    time (``end_s=None`` means forever).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_jitter_s: float = 0.0
+    senders: Optional[frozenset[int]] = None
+    receivers: Optional[frozenset[int]] = None
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.reorder_jitter_s < 0:
+            raise ValueError(
+                f"reorder_jitter_s must be >= 0, got {self.reorder_jitter_s}")
+
+    def applies(self, sender: int, receiver: int, now: float) -> bool:
+        """True if this fault is active for a delivery on the link right now."""
+        if now < self.start_s:
+            return False
+        if self.end_s is not None and now >= self.end_s:
+            return False
+        if self.senders is not None and sender not in self.senders:
+            return False
+        if self.receivers is not None and receiver not in self.receivers:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A (transient) network partition.
+
+    While active, a frame whose sender and receiver sit in *different* groups
+    is dropped.  Nodes not listed in any group are unaffected (this lets a
+    multi-hop campaign partition the leader backbone without touching the
+    cluster channels).  ``heal_s=None`` keeps the partition forever -- only
+    admissible in runs that assert *non*-decision, since it violates eventual
+    delivery.
+    """
+
+    groups: tuple[frozenset[int], ...]
+    start_s: float = 0.0
+    heal_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        seen: set[int] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(f"partition groups overlap on nodes {sorted(overlap)}")
+            seen |= group
+
+    def group_of(self, node_id: int) -> Optional[int]:
+        """Index of the group containing ``node_id`` (None if unlisted)."""
+        for index, group in enumerate(self.groups):
+            if node_id in group:
+                return index
+        return None
+
+    def separates(self, sender: int, receiver: int, now: float) -> bool:
+        """True if the partition blocks sender -> receiver delivery now."""
+        if now < self.start_s:
+            return False
+        if self.heal_s is not None and now >= self.heal_s:
+            return False
+        sender_group = self.group_of(sender)
+        receiver_group = self.group_of(receiver)
+        if sender_group is None or receiver_group is None:
+            return False
+        return sender_group != receiver_group
+
+
 class AsyncAdversary:
-    """Tracks the Byzantine node set and owns the delivery-delay model."""
+    """Tracks the Byzantine node set and owns the message-level fault models."""
 
     def __init__(self, byzantine: Optional[set[int]] = None,
-                 delay_model: Optional[DelayModel] = None) -> None:
+                 delay_model: Optional[DelayModel] = None,
+                 link_faults: Optional[list[LinkFaultSpec]] = None,
+                 partitions: Optional[list[PartitionSpec]] = None) -> None:
         self.byzantine: set[int] = set(byzantine or set())
         self.delay_model = delay_model or DelayModel()
+        self.link_faults: list[LinkFaultSpec] = list(link_faults or [])
+        self.partitions: list[PartitionSpec] = list(partitions or [])
 
     def is_byzantine(self, node_id: int) -> bool:
         """True if ``node_id`` is under adversarial control."""
@@ -60,9 +165,64 @@ class AsyncAdversary:
         """Add a node to the Byzantine set."""
         self.byzantine.add(node_id)
 
+    def add_link_fault(self, fault: LinkFaultSpec) -> None:
+        """Install a message-level link fault."""
+        self.link_faults.append(fault)
+
+    def add_partition(self, partition: PartitionSpec) -> None:
+        """Install a (transient) partition."""
+        self.partitions.append(partition)
+
     def delivery_delay(self, sender: int, receiver: int, rng) -> float:
-        """Delay added to one frame delivery (called by the channel)."""
+        """Delay added to one frame delivery (jitter + targeted only)."""
         return self.delay_model.delay(sender, receiver, rng)
+
+    def plan_delivery(self, sender: int, receiver: int, now: float,
+                      rng) -> list[float]:
+        """Decide the fate of one frame on the (sender, receiver) link.
+
+        Returns the list of extra delivery delays, one per copy that should
+        arrive: ``[]`` means the frame is dropped (the channel records the
+        drop in its trace), one entry is a normal delivery, two entries a
+        duplication.  All randomness is drawn from the caller-supplied
+        (simulator) RNG, and no draws happen unless a fault actually matches
+        the link, so fault-free runs keep a bit-identical RNG stream.
+        """
+        for partition in self.partitions:
+            if partition.separates(sender, receiver, now):
+                return []
+        delays = [self.delay_model.delay(sender, receiver, rng)]
+        for fault in self.link_faults:
+            if not fault.applies(sender, receiver, now):
+                continue
+            if fault.drop_rate > 0.0 and rng.random() < fault.drop_rate:
+                return []
+            if fault.reorder_jitter_s > 0.0:
+                cap = self.delay_model.max_delay_s
+                delays = [min(delay + rng.uniform(0.0, fault.reorder_jitter_s), cap)
+                          for delay in delays]
+            if fault.duplicate_rate > 0.0 and rng.random() < fault.duplicate_rate:
+                delays.append(min(delays[0] + rng.uniform(0.0, max(
+                    fault.reorder_jitter_s, self.delay_model.base_jitter_s)),
+                    self.delay_model.max_delay_s))
+        return delays
+
+    def eventual_delivery_holds(self) -> bool:
+        """True if no installed fault can silence a link forever.
+
+        Permanent partitions and drop-rate-1.0 faults without an end time
+        violate the asynchronous model's eventual-delivery guarantee; campaign
+        fault models that use them must pair them with a non-decision
+        expectation.
+        """
+        for partition in self.partitions:
+            if partition.heal_s is None or math.isinf(partition.heal_s):
+                return False
+        for fault in self.link_faults:
+            if fault.drop_rate >= 1.0 and (fault.end_s is None
+                                           or math.isinf(fault.end_s)):
+                return False
+        return True
 
     def target_link(self, sender: int, receiver: int, extra_delay_s: float) -> None:
         """Make the adversary slow down a specific link."""

@@ -164,8 +164,20 @@ class WirelessChannel:
                 hops = self.hop_counts.get((frame.sender, mac.node_id), 1)
                 delay += max(0, hops - 1) * self.per_hop_forward_s
             if self.adversary is not None:
-                delay += self.adversary.delivery_delay(frame.sender, mac.node_id,
-                                                       self.sim.rng)
+                # The adversary decides the fate of this link's copy: one
+                # delay (normal), several (duplication) or none (drop --
+                # a partition or lossy link the reliability layer must mend).
+                extras = self.adversary.plan_delivery(
+                    frame.sender, mac.node_id, self.sim.now, self.sim.rng)
+                if not extras:
+                    self.trace.record_adversary_drop(self.name)
+                    continue
+                for extra in extras:
+                    self.trace.record_delivery(self.name)
+                    self.sim.schedule(delay + extra,
+                                      lambda m=mac: m.node.deliver_frame(frame),
+                                      label=f"rx:{self.name}:{frame.frame_id}")
+                continue
             self.trace.record_delivery(self.name)
             self.sim.schedule(delay, lambda m=mac: m.node.deliver_frame(frame),
                               label=f"rx:{self.name}:{frame.frame_id}")

@@ -20,6 +20,7 @@ class ChannelStats:
     collisions: int = 0
     delivered_frames: int = 0
     missed_half_duplex: int = 0
+    adversary_drops: int = 0
     busy_time: float = 0.0
     bytes_on_air: int = 0
 
@@ -74,6 +75,10 @@ class NetworkTrace:
         """A frame was missed because the receiver was itself transmitting."""
         self.channels[channel].missed_half_duplex += 1
 
+    def record_adversary_drop(self, channel: str) -> None:
+        """A frame copy was suppressed by the adversary (drop or partition)."""
+        self.channels[channel].adversary_drops += 1
+
     # --------------------------------------------------------------- node side
     def record_channel_access(self, node_id: int, fragments: int,
                               size_bytes: int) -> None:
@@ -125,6 +130,11 @@ class NetworkTrace:
         """Total frames sent across all nodes."""
         return sum(stats.frames_sent for stats in self.nodes.values())
 
+    @property
+    def total_adversary_drops(self) -> int:
+        """Total frame copies suppressed by the adversary across channels."""
+        return sum(stats.adversary_drops for stats in self.channels.values())
+
     def channel_accesses_per_node(self) -> dict[int, int]:
         """Channel accesses keyed by node id."""
         return {node_id: stats.channel_accesses
@@ -137,5 +147,6 @@ class NetworkTrace:
             "frames_sent": float(self.total_frames_sent),
             "bytes_sent": float(self.total_bytes_sent),
             "collisions": float(self.total_collisions),
+            "adversary_drops": float(self.total_adversary_drops),
             "busy_time": sum(stats.busy_time for stats in self.channels.values()),
         }

@@ -106,6 +106,23 @@ def block_digest(block: list[bytes]) -> str:
     return digest.hexdigest()
 
 
+@dataclass(frozen=True)
+class InvariantWitness:
+    """One node's decision evidence for the conformance checkers.
+
+    The harness collects a witness per honest node after a run and feeds it
+    to the :class:`repro.testbed.invariants.RunObserver`, which checks
+    agreement (equal digests), total order (equal block sequences) and
+    validity (committed transactions trace back to proposals) across nodes.
+    """
+
+    node_id: int
+    decided: bool
+    digest: Optional[str]
+    decide_time: Optional[float]
+    block: Optional[tuple[bytes, ...]]
+
+
 class ConsensusProtocol:
     """Base class for the per-node protocol instances."""
 
@@ -127,6 +144,27 @@ class ConsensusProtocol:
     def propose(self, transactions: list[bytes]) -> None:  # pragma: no cover
         """Provide this node's transaction batch and start the protocol."""
         raise NotImplementedError
+
+    # ----------------------------------------------------- fault-injection API
+    def inject_conflicting_proposal(self, transactions: list[bytes]) -> bool:
+        """Byzantine hook: open this node's broadcast with a *second*,
+        conflicting proposal (the equivocation attack).
+
+        Called by the testbed on nodes assigned the ``equivocating-proposer``
+        strategy, after the regular :meth:`propose`.  Protocols that support
+        the attack override this and return True; the base implementation
+        reports that the attack is not wired for this protocol.
+        """
+        return False
+
+    # -------------------------------------------------------- invariant hooks
+    def witness(self) -> InvariantWitness:
+        """This node's decision evidence for the conformance checkers."""
+        return InvariantWitness(
+            node_id=self.ctx.node_id, decided=self.decided,
+            digest=block_digest(self.block) if self.block is not None else None,
+            decide_time=self.decide_time,
+            block=tuple(self.block) if self.block is not None else None)
 
     # ----------------------------------------------------------------- decide
     def _finish(self, block: list[bytes]) -> None:

@@ -115,6 +115,21 @@ class Dumbo(ConsensusProtocol):
         self.started_at = self.ctx.sim.now
         self.prbc_instances[self.ctx.node_id].start(encode_batch(transactions))
 
+    def inject_conflicting_proposal(self, transactions: list[bytes]) -> bool:
+        """Equivocation attack: broadcast a second INITIAL for this node's PRBC.
+
+        PRBC inherits RBC's echo-quorum rule, so honest nodes either converge
+        on one of the two proposals or exclude this node's instance; the DONE
+        proof can only form for a value ``2f + 1`` nodes echoed.
+        """
+        value = encode_batch(transactions)
+        message = ComponentMessage(
+            kind=Prbc.kind, instance=self.ctx.node_id, phase="initial",
+            sender=self.ctx.node_id, payload={"value": value},
+            payload_bytes=len(value), tag=self.tag)
+        self.ctx.transport.send(message)
+        return True
+
     # ------------------------------------------------------------------ PRBC
     def _on_prbc_output(self, index: int, output: tuple) -> None:
         value, proof = output

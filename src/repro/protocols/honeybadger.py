@@ -96,6 +96,28 @@ class HoneyBadger(ConsensusProtocol):
             value = payload
         self.acs.propose(value)
 
+    def inject_conflicting_proposal(self, transactions: list[bytes]) -> bool:
+        """Equivocation attack: broadcast a second INITIAL for this node's RBC.
+
+        Honest RBC instances echo whichever INITIAL they see first and only
+        deliver a value backed by a ``2f + 1`` echo quorum, so either one of
+        the two proposals wins everywhere or the instance never delivers and
+        ACS excludes this node -- agreement must hold either way.  The attack
+        mirrors what :meth:`propose` sends, bypassing the local RBC state.
+        """
+        payload = encode_batch(transactions)
+        if self.config.use_threshold_encryption:
+            label = f"hb|{self.config.epoch}|{self.ctx.node_id}|equiv".encode()
+            value = ciphertext_to_bytes(self.ctx.suite.encrypt(payload, label))
+        else:
+            value = payload
+        message = ComponentMessage(
+            kind=BrachaRbc.kind, instance=self.ctx.node_id, phase="initial",
+            sender=self.ctx.node_id, payload={"value": value},
+            payload_bytes=len(value), tag=self.tag)
+        self.ctx.transport.send(message)
+        return True
+
     # ------------------------------------------------------------- ACS output
     def _on_acs_output(self, output: dict[int, bytes]) -> None:
         self._acs_output = output

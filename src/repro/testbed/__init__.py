@@ -12,6 +12,10 @@ consensus components and the consensus protocols into runnable experiments:
   broadcast-component and ABA experiments, batched or baseline;
 * :mod:`~repro.testbed.metrics`   -- latency / throughput (TPM) / overhead
   metrics extracted from runs;
+* :mod:`~repro.testbed.invariants` -- safety/liveness conformance checking
+  (agreement, total order, validity, liveness expectations);
+* :mod:`~repro.testbed.campaign`  -- the deterministic fault-injection
+  scenario-sweep engine (see TESTING.md and ``scripts/run_campaign.py``);
 * :mod:`~repro.testbed.reporting` -- table/figure formatting used by the
   benchmark harness under ``benchmarks/``.
 """
@@ -26,6 +30,15 @@ from repro.testbed.harness import (
     run_multihop_consensus,
     run_broadcast_experiment,
     run_aba_experiment,
+)
+from repro.testbed.invariants import InvariantVerdict, RunObserver, check_all
+from repro.testbed.campaign import (
+    FAULT_MODELS,
+    CampaignCell,
+    CampaignSpec,
+    TopologySpec,
+    default_cells,
+    run_cell,
 )
 from repro.testbed.reporting import format_table, improvement_percent
 
@@ -43,6 +56,15 @@ __all__ = [
     "run_multihop_consensus",
     "run_broadcast_experiment",
     "run_aba_experiment",
+    "InvariantVerdict",
+    "RunObserver",
+    "check_all",
+    "FAULT_MODELS",
+    "CampaignCell",
+    "CampaignSpec",
+    "TopologySpec",
+    "default_cells",
+    "run_cell",
     "format_table",
     "improvement_percent",
 ]

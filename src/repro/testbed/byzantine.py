@@ -10,8 +10,13 @@ allows without modifying the honest protocol code:
   protocol (its RBC instance never completes, so ACS must exclude it);
 * ``garbage-proposer`` -- the node proposes an undecodable payload (honest
   nodes must still terminate and simply commit nothing for it);
+* ``equivocating-proposer`` -- the node opens its broadcast instance with
+  *two* conflicting proposals (the classic equivocation attack; honest nodes
+  must still agree on at most one of them, or exclude the node entirely);
 * ``slow-links`` -- the adversary adds large delays on all links from the
-  node (message-delay attack permitted by the asynchronous model).
+  node (message-delay attack permitted by the asynchronous model);
+* ``lossy-links`` -- the adversary drops, duplicates and reorders frames on
+  the node's outgoing links (the reliability layer must repair the holes).
 """
 
 from __future__ import annotations
@@ -24,8 +29,17 @@ BYZANTINE_STRATEGIES = (
     "late-crash",
     "mute-proposer",
     "garbage-proposer",
+    "equivocating-proposer",
     "slow-links",
+    "lossy-links",
 )
+
+#: strategies where the *network* is attacked but the node itself runs
+#: unmodified honest protocol code -- such nodes stay in the honest set, so
+#: the conformance checkers still demand agreement/liveness from them (the
+#: whole point of a message-delay or message-loss attack is that honest
+#: nodes must ride it out).
+NETWORK_FAULT_STRATEGIES = ("slow-links", "lossy-links")
 
 
 @dataclass(frozen=True)
@@ -37,6 +51,12 @@ class ByzantineSpec:
     slow_link_delay_s: float = 8.0
     #: virtual time at which ``late-crash`` nodes go silent
     late_crash_at_s: float = 20.0
+    #: per-delivery drop probability of the ``lossy-links`` strategy
+    lossy_drop_rate: float = 0.08
+    #: per-delivery duplication probability of the ``lossy-links`` strategy
+    lossy_duplicate_rate: float = 0.05
+    #: reordering jitter (seconds) of the ``lossy-links`` strategy
+    lossy_reorder_jitter_s: float = 0.25
 
     def __post_init__(self) -> None:
         for node_id, strategy in self.assignments.items():
@@ -57,15 +77,22 @@ class ByzantineSpec:
 
     @property
     def byzantine_ids(self) -> set[int]:
-        """Ids of all Byzantine nodes."""
-        return set(self.assignments)
+        """Ids of nodes under *behavioural* adversarial control.
+
+        Nodes assigned a network-level strategy (slow/lossy links) are not
+        included: they run honest code and must still satisfy agreement and
+        liveness, so the harness keeps them in the honest set.
+        """
+        return {node_id for node_id, strategy in self.assignments.items()
+                if strategy not in NETWORK_FAULT_STRATEGIES}
 
     def strategy_of(self, node_id: int) -> Optional[str]:
         """The strategy assigned to ``node_id`` (None if honest)."""
         return self.assignments.get(node_id)
 
     def is_byzantine(self, node_id: int) -> bool:
-        """True if the node is Byzantine."""
+        """True if the node has any adversarial assignment (including the
+        network-level attacks, which keep the node itself honest)."""
         return node_id in self.assignments
 
     def proposes(self, node_id: int) -> bool:
@@ -76,3 +103,12 @@ class ByzantineSpec:
     def proposal_is_garbage(self, node_id: int) -> bool:
         """Whether the node's proposal should be undecodable garbage."""
         return self.assignments.get(node_id) == "garbage-proposer"
+
+    def equivocates(self, node_id: int) -> bool:
+        """Whether the node opens its broadcast with conflicting proposals."""
+        return self.assignments.get(node_id) == "equivocating-proposer"
+
+    def nodes_with(self, strategy: str) -> list[int]:
+        """Sorted node ids assigned ``strategy``."""
+        return sorted(node_id for node_id, assigned in self.assignments.items()
+                      if assigned == strategy)

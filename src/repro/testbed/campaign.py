@@ -1,0 +1,455 @@
+"""Scenario campaign engine: fault-injection sweeps with conformance checks.
+
+The paper's evaluation (Section VI-C) covers two deployments and two injected
+fault types; this engine generalises the testbed into a deterministic matrix
+sweep over
+
+``{protocol} x {topology} x {fault model} x {workload flavor} x {seed}``
+
+where every cell runs one full consensus epoch through the harness entry
+points and is judged against the protocols' safety/liveness contract
+(:mod:`repro.testbed.invariants`): agreement, total order, validity, and the
+fault model's decision expectation (liveness, or *non*-decision under quorum
+loss).
+
+Every cell is replayable in isolation: its outcome is a pure function of the
+cell description (the per-cell seed is derived with
+:func:`repro.testbed.harness.stable_seed` from the campaign base seed and the
+cell coordinates), which is what makes the CLI's ``CAMPAIGN.json`` artifact
+byte-identical across re-runs and lets a red cell be re-run under a debugger
+with ``scripts/run_campaign.py --only <cell-id>``.
+
+Fault models are small composable builders over :class:`Scenario`; to add
+one, register a :class:`FaultModel` in :data:`FAULT_MODELS` (see TESTING.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.net.adversary import AsyncAdversary, LinkFaultSpec, PartitionSpec
+from repro.net.topology import faults_tolerated
+from repro.protocols.multihop import select_leader
+from repro.testbed.byzantine import ByzantineSpec
+from repro.testbed.harness import (
+    run_consensus,
+    run_multihop_consensus,
+    stable_seed,
+)
+from repro.testbed.invariants import InvariantVerdict, RunObserver, check_all
+from repro.testbed.scenarios import Scenario
+from repro.testbed.workload import WorkloadSpec
+
+#: protocols swept by the default campaigns (one per family)
+CAMPAIGN_PROTOCOLS = ("honeybadger-sc", "beat", "dumbo-sc")
+
+#: workload flavors cycled through the default matrices
+CAMPAIGN_FLAVORS = ("uniform", "task-allocation", "telemetry")
+
+
+# ---------------------------------------------------------------------------
+# topology axis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One point on the campaign's topology axis."""
+
+    kind: str  # "single-hop" | "multi-hop"
+    num_nodes: int = 0
+    num_clusters: int = 0
+    cluster_size: int = 0
+
+    @classmethod
+    def single(cls, num_nodes: int) -> "TopologySpec":
+        """A single-hop deployment of ``num_nodes`` nodes."""
+        return cls(kind="single-hop", num_nodes=num_nodes)
+
+    @classmethod
+    def multi(cls, num_clusters: int, cluster_size: int) -> "TopologySpec":
+        """A clustered multi-hop deployment."""
+        return cls(kind="multi-hop", num_clusters=num_clusters,
+                   cluster_size=cluster_size)
+
+    @property
+    def is_multi_hop(self) -> bool:
+        """True for clustered deployments."""
+        return self.kind == "multi-hop"
+
+    @property
+    def label(self) -> str:
+        """Compact identifier used in cell ids (``sh4``, ``mh4x4``)."""
+        if self.is_multi_hop:
+            return f"mh{self.num_clusters}x{self.cluster_size}"
+        return f"sh{self.num_nodes}"
+
+    def base_scenario(self) -> Scenario:
+        """The fault-free scenario for this topology."""
+        if self.is_multi_hop:
+            return Scenario.multi_hop(self.num_clusters, self.cluster_size)
+        return Scenario.single_hop(self.num_nodes)
+
+
+# ---------------------------------------------------------------------------
+# fault-model axis
+# ---------------------------------------------------------------------------
+
+def _cluster_victims(scenario: Scenario, per_cluster: int) -> list[int]:
+    """Deterministically pick fault victims.
+
+    Single-hop: the ``per_cluster`` highest node ids.  Multi-hop: the
+    ``per_cluster`` highest *non-leader* ids of every cluster (epoch-0
+    leaders must stay honest for the two-phase construction to have a global
+    domain; only the quorum-loss model targets leaders, directly).
+    """
+    victims: list[int] = []
+    for cluster in scenario.topology.clusters:
+        pool = list(cluster.node_ids)
+        if scenario.is_multi_hop:
+            pool.remove(select_leader(cluster, epoch=0))
+        victims.extend(sorted(pool, reverse=True)[:per_cluster])
+    return victims
+
+
+def _assign(scenario: Scenario, strategy: str, per_cluster: Optional[int] = None,
+            **spec_overrides) -> Scenario:
+    """Assign ``strategy`` to up to ``f`` nodes per consensus domain."""
+    if per_cluster is None:
+        per_cluster = faults_tolerated(scenario.topology.clusters[0].size)
+    victims = _cluster_victims(scenario, per_cluster)
+    merged = dict(scenario.byzantine.assignments)
+    merged.update({node_id: strategy for node_id in victims})
+    return scenario.with_byzantine(ByzantineSpec(assignments=merged,
+                                                 **spec_overrides))
+
+
+def _fault_none(scenario: Scenario) -> Scenario:
+    return scenario
+
+
+def _fault_crash(scenario: Scenario) -> Scenario:
+    return _assign(scenario, "crash")
+
+
+def _fault_late_crash(scenario: Scenario) -> Scenario:
+    return _assign(scenario, "late-crash", late_crash_at_s=15.0)
+
+
+def _fault_garbage(scenario: Scenario) -> Scenario:
+    return _assign(scenario, "garbage-proposer")
+
+
+def _fault_equivocate(scenario: Scenario) -> Scenario:
+    return _assign(scenario, "equivocating-proposer")
+
+
+def _fault_slow_links(scenario: Scenario) -> Scenario:
+    return _assign(scenario, "slow-links", per_cluster=1, slow_link_delay_s=4.0)
+
+
+def _fault_lossy(scenario: Scenario) -> Scenario:
+    return scenario.with_link_faults(LinkFaultSpec(
+        drop_rate=0.05, duplicate_rate=0.05, reorder_jitter_s=0.2))
+
+
+def _fault_partition_heal(scenario: Scenario) -> Scenario:
+    if scenario.is_multi_hop:
+        # Partition the leader backbone; cluster channels stay healthy.
+        leaders = [select_leader(cluster, epoch=0)
+                   for cluster in scenario.topology.clusters]
+        half = len(leaders) // 2
+        groups = (frozenset(leaders[:half]), frozenset(leaders[half:]))
+        return scenario.with_partition(PartitionSpec(groups=groups, heal_s=40.0))
+    nodes = list(range(scenario.num_nodes))
+    half = len(nodes) // 2
+    groups = (frozenset(nodes[:half]), frozenset(nodes[half:]))
+    return scenario.with_partition(PartitionSpec(groups=groups, heal_s=25.0))
+
+
+def _fault_quorum_loss(scenario: Scenario) -> Scenario:
+    if scenario.is_multi_hop:
+        # Crash f_global + 1 leaders: clusters still decide locally, but the
+        # leader group can never assemble a global block.
+        leaders = [select_leader(cluster, epoch=0)
+                   for cluster in scenario.topology.clusters]
+        num_crash = faults_tolerated(len(leaders)) + 1
+        assignments = {leader: "crash" for leader in leaders[:num_crash]}
+        return scenario.with_byzantine(ByzantineSpec(assignments=assignments))
+    num_crash = faults_tolerated(scenario.num_nodes) + 1
+    victims = sorted(range(scenario.num_nodes), reverse=True)[:num_crash]
+    return scenario.with_byzantine(ByzantineSpec.crash_nodes(victims))
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """One point on the campaign's fault axis."""
+
+    name: str
+    description: str
+    apply: Callable[[Scenario], Scenario]
+    #: whether honest nodes are expected to decide under this fault
+    expect_decision: bool = True
+    #: domains whose non-decision is asserted when ``expect_decision`` is
+    #: False (None = every domain); only "global" makes sense for multi-hop
+    #: quorum loss, where healthy clusters still decide locally.
+    affected_domains_multihop: Optional[frozenset] = None
+    #: virtual-time budget multiplier (partitions and loss need slack)
+    timeout_scale: float = 1.0
+
+    def affected_domains(self, multi_hop: bool) -> Optional[set]:
+        """Domains scoped by the non-decision expectation for this topology."""
+        if not multi_hop or self.affected_domains_multihop is None:
+            return None
+        return set(self.affected_domains_multihop)
+
+
+FAULT_MODELS: dict[str, FaultModel] = {
+    model.name: model for model in (
+        FaultModel("none", "fault-free baseline", _fault_none),
+        FaultModel("crash-f", "f fail-stop nodes per domain from the start",
+                   _fault_crash),
+        FaultModel("late-crash", "f nodes per domain go silent mid-protocol",
+                   _fault_late_crash, timeout_scale=1.5),
+        FaultModel("garbage", "f undecodable proposals per domain",
+                   _fault_garbage),
+        FaultModel("equivocate", "f equivocating proposers per domain",
+                   _fault_equivocate),
+        FaultModel("slow-links", "adversarial delay on one node's links",
+                   _fault_slow_links, timeout_scale=2.0),
+        FaultModel("lossy", "5% drop + 5% duplication + reordering on every link",
+                   _fault_lossy, timeout_scale=2.0),
+        FaultModel("partition-heal", "two-way partition healing mid-run",
+                   _fault_partition_heal, timeout_scale=2.0),
+        FaultModel("quorum-loss", "f+1 crashes: liveness must fail, safety hold",
+                   _fault_quorum_loss, expect_decision=False,
+                   affected_domains_multihop=frozenset({"global"})),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# cells
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One fully specified campaign run."""
+
+    protocol: str
+    topology: TopologySpec
+    fault: str
+    flavor: str = "uniform"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fault not in FAULT_MODELS:
+            raise ValueError(f"unknown fault model {self.fault!r}; "
+                             f"known: {sorted(FAULT_MODELS)}")
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identifier (also the replay key)."""
+        return (f"{self.protocol}|{self.topology.label}|{self.fault}"
+                f"|{self.flavor}|s{self.seed}")
+
+
+@dataclass
+class CellOutcome:
+    """Result and conformance verdicts of one campaign cell."""
+
+    cell_id: str
+    protocol: str
+    topology: str
+    fault: str
+    flavor: str
+    seed: int
+    expect_decision: bool
+    decided: bool
+    ok: bool
+    latency_s: Optional[float]
+    committed_transactions: int
+    block_digest: str
+    bytes_sent: int
+    channel_accesses: int
+    collisions: int
+    invariants: list[InvariantVerdict] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-stable representation (no wall-clock, no floats-as-NaN)."""
+        return {
+            "cell_id": self.cell_id,
+            "protocol": self.protocol,
+            "topology": self.topology,
+            "fault": self.fault,
+            "flavor": self.flavor,
+            "seed": self.seed,
+            "expect_decision": self.expect_decision,
+            "decided": self.decided,
+            "ok": self.ok,
+            "latency_s": self.latency_s,
+            "committed_transactions": self.committed_transactions,
+            "block_digest": self.block_digest,
+            "bytes_sent": self.bytes_sent,
+            "channel_accesses": self.channel_accesses,
+            "collisions": self.collisions,
+            "invariants": [{"name": verdict.name, "ok": verdict.ok,
+                            "detail": verdict.detail}
+                           for verdict in self.invariants],
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A cartesian campaign matrix (custom campaigns build one directly)."""
+
+    protocols: tuple[str, ...] = CAMPAIGN_PROTOCOLS
+    topologies: tuple[TopologySpec, ...] = (TopologySpec.single(4),)
+    faults: tuple[str, ...] = tuple(FAULT_MODELS)
+    flavors: tuple[str, ...] = ("uniform",)
+    seeds: tuple[int, ...] = (0,)
+    base_seed: int = 0
+
+    def cells(self) -> list[CampaignCell]:
+        """The full cartesian matrix, per-cell seeds derived deterministically."""
+        matrix: list[CampaignCell] = []
+        for protocol in self.protocols:
+            for topology in self.topologies:
+                for fault in self.faults:
+                    for flavor in self.flavors:
+                        for seed_index in self.seeds:
+                            matrix.append(CampaignCell(
+                                protocol=protocol, topology=topology,
+                                fault=fault, flavor=flavor,
+                                seed=stable_seed(self.base_seed, protocol,
+                                                 topology.label, fault, flavor,
+                                                 seed_index)))
+        return matrix
+
+
+def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
+    """The bounded default matrix.
+
+    Quick mode: 3 protocols x 9 fault models x {single-hop n=4, multi-hop
+    4x4} with workload flavors cycled across cells -- 54 cells, every fault
+    model exercised on both topologies by every protocol family.  Full mode
+    adds larger single-hop deployments (n=7, n=10) and a second seed per
+    cell, at uniform flavor, on the fault models that scale with n.
+    """
+    topologies = [TopologySpec.single(4), TopologySpec.multi(4, 4)]
+    cells: list[CampaignCell] = []
+    index = 0
+    for protocol in CAMPAIGN_PROTOCOLS:
+        for topology in topologies:
+            for fault in FAULT_MODELS:
+                flavor = CAMPAIGN_FLAVORS[index % len(CAMPAIGN_FLAVORS)]
+                cells.append(CampaignCell(
+                    protocol=protocol, topology=topology, fault=fault,
+                    flavor=flavor,
+                    seed=stable_seed(base_seed, protocol, topology.label,
+                                     fault, flavor, 0)))
+                index += 1
+    if not quick:
+        extra = CampaignSpec(
+            topologies=(TopologySpec.single(7), TopologySpec.single(10)),
+            faults=("none", "crash-f", "garbage", "equivocate", "quorum-loss"),
+            seeds=(0, 1), base_seed=base_seed)
+        cells.extend(extra.cells())
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+#: virtual-time budget for cells expected to decide (quick mode)
+QUICK_TIMEOUT_S = 600.0
+#: virtual-time budget for non-decision cells: long enough to prove a stall,
+#: short enough not to simulate hours of retransmission chatter
+NO_DECISION_TIMEOUT_S = 90.0
+QUICK_WORKLOAD = dict(batch_size=3, transaction_bytes=48)
+FULL_WORKLOAD = dict(batch_size=8, transaction_bytes=64)
+
+
+def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
+    """The fully faulted scenario a cell runs (exposed for replay/debugging)."""
+    fault = FAULT_MODELS[cell.fault]
+    scenario = cell.topology.base_scenario()
+    if fault.expect_decision:
+        timeout = QUICK_TIMEOUT_S * fault.timeout_scale if quick \
+            else scenario.timeout_s
+    else:
+        timeout = NO_DECISION_TIMEOUT_S
+    scenario = fault.apply(scenario.replace(timeout_s=timeout))
+    if fault.expect_decision:
+        # A fault set that silences a link forever can never satisfy the
+        # decision expectation -- flag the misconfigured fault model loudly
+        # instead of letting the cell time out and masquerade as a protocol
+        # liveness bug.
+        probe = AsyncAdversary(link_faults=list(scenario.link_faults),
+                               partitions=list(scenario.partitions))
+        if not probe.eventual_delivery_holds():
+            raise ValueError(
+                f"fault model {fault.name!r} violates eventual delivery but "
+                f"expects a decision; set expect_decision=False or bound the "
+                f"fault window")
+    return scenario
+
+
+def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
+    """Run one campaign cell and judge it against the conformance suite."""
+    fault = FAULT_MODELS[cell.fault]
+    scenario = build_cell_scenario(cell, quick=quick)
+    sizes = QUICK_WORKLOAD if quick else FULL_WORKLOAD
+    workload_spec = WorkloadSpec(flavor=cell.flavor, **sizes)
+    observer = RunObserver()
+    if cell.topology.is_multi_hop:
+        result = run_multihop_consensus(cell.protocol, scenario,
+                                        seed=cell.seed,
+                                        workload_spec=workload_spec,
+                                        observer=observer)
+    else:
+        result = run_consensus(cell.protocol, scenario, seed=cell.seed,
+                               workload_spec=workload_spec, observer=observer)
+    verdicts = check_all(
+        observer, result.decided, fault.expect_decision, scenario.timeout_s,
+        affected_domains=fault.affected_domains(cell.topology.is_multi_hop))
+    latency: Optional[float] = result.latency_s
+    if latency != latency:  # NaN (timed-out run): keep JSON clean
+        latency = None
+    return CellOutcome(
+        cell_id=cell.cell_id, protocol=cell.protocol,
+        topology=cell.topology.label, fault=cell.fault, flavor=cell.flavor,
+        seed=cell.seed, expect_decision=fault.expect_decision,
+        decided=result.decided, ok=all(verdict.ok for verdict in verdicts),
+        latency_s=latency,
+        committed_transactions=result.committed_transactions,
+        block_digest=result.block_digest,
+        bytes_sent=result.bytes_sent,
+        channel_accesses=result.channel_accesses,
+        collisions=result.collisions,
+        invariants=verdicts)
+
+
+def campaign_report(outcomes: list[CellOutcome], base_seed: int,
+                    quick: bool) -> dict[str, Any]:
+    """Aggregate cell outcomes into the ``CAMPAIGN.json`` structure.
+
+    Deterministic for a fixed (cells, base_seed): outcomes are sorted by
+    cell id and no wall-clock data is included, so re-running the same
+    campaign reproduces the artifact byte for byte.
+    """
+    ordered = sorted(outcomes, key=lambda outcome: outcome.cell_id)
+    return {
+        "campaign": {
+            "seed": base_seed,
+            "quick": quick,
+            "num_cells": len(ordered),
+            "all_ok": all(outcome.ok for outcome in ordered),
+            "protocols": sorted({outcome.protocol for outcome in ordered}),
+            "topologies": sorted({outcome.topology for outcome in ordered}),
+            "faults": sorted({outcome.fault for outcome in ordered}),
+            "flavors": sorted({outcome.flavor for outcome in ordered}),
+        },
+        "cells": [outcome.to_json() for outcome in ordered],
+    }

@@ -45,7 +45,7 @@ from repro.crypto.threshold_coin import deal_threshold_coin
 from repro.crypto.threshold_enc import deal_threshold_enc
 from repro.crypto.threshold_sig import deal_threshold_sig
 from repro.crypto.timing import CryptoSuite
-from repro.net.adversary import AsyncAdversary, DelayModel
+from repro.net.adversary import AsyncAdversary, DelayModel, LinkFaultSpec
 from repro.net.channel import WirelessChannel
 from repro.net.csma import CsmaMac
 from repro.net.node import NetworkNode
@@ -59,6 +59,7 @@ from repro.protocols.dumbo import Dumbo
 from repro.protocols.honeybadger import HoneyBadger
 from repro.protocols.multihop import ClusterOutcome, MultiHopResult, select_leader
 from repro.testbed.byzantine import ByzantineSpec
+from repro.testbed.invariants import RunObserver
 from repro.testbed.metrics import (
     ComponentRunResult,
     ConsensusRunResult,
@@ -66,6 +67,9 @@ from repro.testbed.metrics import (
 )
 from repro.testbed.scenarios import Scenario
 from repro.testbed.workload import TransactionWorkload, WorkloadSpec
+
+#: epoch tag used to derive the conflicting batch of an equivocating proposer
+EQUIVOCATION_EPOCH = "equiv"
 
 
 def stable_seed(*parts) -> int:
@@ -173,7 +177,7 @@ def _make_transport(batched: bool, node: NetworkNode, num_nodes: int,
 
 
 def _apply_byzantine_network_behaviour(deployment: Deployment) -> None:
-    """Apply strategies that act at the network level (crash, delays)."""
+    """Apply strategies that act at the network level (crash, delays, loss)."""
     scenario = deployment.scenario
     spec = scenario.byzantine
     for node_id, strategy in spec.assignments.items():
@@ -190,6 +194,12 @@ def _apply_byzantine_network_behaviour(deployment: Deployment) -> None:
                 if other_id != node_id:
                     deployment.adversary.target_link(node_id, other_id,
                                                      spec.slow_link_delay_s)
+        elif strategy == "lossy-links":
+            deployment.adversary.add_link_fault(LinkFaultSpec(
+                drop_rate=spec.lossy_drop_rate,
+                duplicate_rate=spec.lossy_duplicate_rate,
+                reorder_jitter_s=spec.lossy_reorder_jitter_s,
+                senders=frozenset({node_id})))
 
 
 def build_deployment(scenario: Scenario, batched: bool = True,
@@ -199,7 +209,9 @@ def build_deployment(scenario: Scenario, batched: bool = True,
     trace = NetworkTrace()
     adversary = AsyncAdversary(
         byzantine=set(scenario.byzantine.byzantine_ids),
-        delay_model=DelayModel(base_jitter_s=scenario.link_jitter_s))
+        delay_model=DelayModel(base_jitter_s=scenario.link_jitter_s),
+        link_faults=list(scenario.link_faults),
+        partitions=list(scenario.partitions))
     setup_rng = random.Random(seed ^ 0x5EED)
 
     channels: dict[str, WirelessChannel] = {}
@@ -342,18 +354,26 @@ def make_protocol(name: str, runtime: DomainRuntime,
 def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
                   transaction_bytes: int = 64, batched: bool = True,
                   seed: int = 0,
-                  config: Optional[ConsensusConfig] = None) -> ConsensusRunResult:
-    """Run one epoch of ``protocol`` on a single-hop scenario."""
+                  config: Optional[ConsensusConfig] = None,
+                  workload_spec: Optional[WorkloadSpec] = None,
+                  observer: Optional[RunObserver] = None) -> ConsensusRunResult:
+    """Run one epoch of ``protocol`` on a single-hop scenario.
+
+    ``workload_spec`` overrides the default uniform workload (flavored
+    campaigns); ``observer`` collects proposals and decisions for the
+    conformance checkers in :mod:`repro.testbed.invariants`.
+    """
     if scenario.is_multi_hop:
         raise DeploymentError("run_consensus expects a single-hop scenario; "
                               "use run_multihop_consensus instead")
     deployment = build_deployment(scenario, batched=batched, seed=seed)
     workload = TransactionWorkload(
-        WorkloadSpec(batch_size=batch_size, transaction_bytes=transaction_bytes),
+        workload_spec or WorkloadSpec(batch_size=batch_size,
+                                      transaction_bytes=transaction_bytes),
         seed=seed)
     protocols = _install_protocols(deployment, protocol, deployment.runtimes,
                                    config)
-    _propose_all(deployment, deployment.runtimes, workload)
+    _propose_all(deployment, deployment.runtimes, workload, observer=observer)
 
     honest = deployment.honest_ids()
     decided = deployment.sim.run_until(
@@ -362,7 +382,7 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
         timeout=scenario.timeout_s)
     deployment.shutdown()
     return _consensus_result(protocol, deployment, protocols, honest, decided,
-                             batched, seed)
+                             batched, seed, observer=observer)
 
 
 def _install_protocols(deployment: Deployment, protocol: str,
@@ -377,9 +397,12 @@ def _install_protocols(deployment: Deployment, protocol: str,
 
 
 def _propose_all(deployment: Deployment, runtimes: dict[int, DomainRuntime],
-                 workload: TransactionWorkload) -> None:
+                 workload: TransactionWorkload,
+                 observer: Optional[RunObserver] = None,
+                 domain_of: Optional[Callable[[int], Any]] = None) -> None:
     spec = deployment.scenario.byzantine
     proposal_rng = random.Random(deployment.sim.seed ^ 0xBAD)
+    domain_of = domain_of or (lambda _node_id: 0)
     for node_id, runtime in runtimes.items():
         if not spec.proposes(node_id) and spec.is_byzantine(node_id):
             continue
@@ -388,18 +411,45 @@ def _propose_all(deployment: Deployment, runtimes: dict[int, DomainRuntime],
             continue
         if spec.proposal_is_garbage(node_id):
             batch = [bytes(proposal_rng.randrange(256) for _ in range(40))]
+            if observer is not None:
+                observer.record_proposal(node_id, batch, domain_of(node_id),
+                                         kind="garbage")
             node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
             continue
         batch = workload.batch_for(runtime.local_id)
+        if observer is not None:
+            observer.record_proposal(node_id, batch, domain_of(node_id))
         node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
+        if spec.equivocates(node_id):
+            conflicting = workload.batch_for(runtime.local_id,
+                                             epoch=EQUIVOCATION_EPOCH)
+            if observer is not None:
+                observer.record_proposal(node_id, conflicting,
+                                         domain_of(node_id),
+                                         kind="equivocation")
+            node.run_task(lambda p=runtime.protocol, b=conflicting:
+                          _inject_equivocation(p, b))
+
+
+def _inject_equivocation(protocol: ConsensusProtocol,
+                         conflicting: list[bytes]) -> None:
+    """Launch the equivocation attack, failing loudly if unsupported.
+
+    A protocol whose :meth:`inject_conflicting_proposal` returns False would
+    otherwise make an ``equivocate`` campaign cell vacuously green -- decided
+    without any attack launched, while the observer testifies one happened.
+    """
+    if not protocol.inject_conflicting_proposal(conflicting):
+        raise DeploymentError(
+            f"protocol {protocol.name!r} does not implement the equivocation "
+            f"attack; the equivocating-proposer strategy cannot be exercised")
 
 
 def _consensus_result(protocol: str, deployment: Deployment,
                       protocols: dict[int, ConsensusProtocol],
                       honest: list[int], decided: bool, batched: bool,
-                      seed: int) -> ConsensusRunResult:
-    from repro.protocols.base import block_digest
-
+                      seed: int,
+                      observer: Optional[RunObserver] = None) -> ConsensusRunResult:
     per_node_latency = {
         node_id: protocols[node_id].decide_time
         for node_id in honest
@@ -407,12 +457,22 @@ def _consensus_result(protocol: str, deployment: Deployment,
     latency = max(per_node_latency.values()) if per_node_latency else float("nan")
     committed = 0
     digest = ""
+    per_node_digest: dict[int, str] = {}
     for node_id in honest:
         instance = protocols.get(node_id)
-        if instance is not None and instance.block is not None:
-            committed = len(instance.block)
-            digest = block_digest(instance.block)
-            break
+        if instance is None:
+            continue
+        witness = instance.witness()
+        if witness.digest is None:
+            continue
+        per_node_digest[node_id] = witness.digest
+        if not digest:
+            committed = len(witness.block)
+            digest = witness.digest
+        if observer is not None:
+            observer.record_decision(node_id, list(witness.block),
+                                     witness.decide_time,
+                                     digest=witness.digest)
     crypto_seconds = sum(runtime.ctx.suite.ledger.total_seconds
                          for runtime in deployment.runtimes.values())
     return ConsensusRunResult(
@@ -421,6 +481,7 @@ def _consensus_result(protocol: str, deployment: Deployment,
         decided=decided, latency_s=latency,
         per_node_latency_s=per_node_latency,
         committed_transactions=committed, block_digest=digest,
+        per_node_digest=per_node_digest,
         channel_accesses=deployment.trace.total_channel_accesses,
         frames_sent=deployment.trace.total_frames_sent,
         bytes_sent=deployment.trace.total_bytes_sent,
@@ -437,13 +498,16 @@ def _consensus_result(protocol: str, deployment: Deployment,
 def run_multihop_consensus(protocol: str, scenario: Scenario,
                            batch_size: int = 8, transaction_bytes: int = 64,
                            batched: bool = True, seed: int = 0,
-                           config: Optional[ConsensusConfig] = None) -> MultiHopRunResult:
+                           config: Optional[ConsensusConfig] = None,
+                           workload_spec: Optional[WorkloadSpec] = None,
+                           observer: Optional[RunObserver] = None) -> MultiHopRunResult:
     """Run the two-phase local + global consensus on a multi-hop scenario."""
     if not scenario.is_multi_hop:
         raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
     deployment = build_deployment(scenario, batched=batched, seed=seed)
     workload = TransactionWorkload(
-        WorkloadSpec(batch_size=batch_size, transaction_bytes=transaction_bytes),
+        workload_spec or WorkloadSpec(batch_size=batch_size,
+                                      transaction_bytes=transaction_bytes),
         seed=seed)
     local_protocols = _install_protocols(deployment, protocol,
                                          deployment.runtimes, config)
@@ -454,7 +518,11 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
     global_protocols = _install_protocols(deployment, protocol,
                                           deployment.global_runtimes,
                                           global_config)
-    _propose_all(deployment, deployment.runtimes, workload)
+    cluster_of = {node_id: cluster.index
+                  for cluster in scenario.topology.clusters
+                  for node_id in cluster.node_ids}
+    _propose_all(deployment, deployment.runtimes, workload, observer=observer,
+                 domain_of=lambda node_id: ("cluster", cluster_of[node_id]))
 
     outcomes: dict[int, ClusterOutcome] = {}
     result = MultiHopResult()
@@ -504,12 +572,39 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
                            for leader in honest_leaders
                            if global_protocols[leader].decide_time is not None]
     latency = max(global_decide_times) if global_decide_times else float("nan")
+
+    byzantine_ids = scenario.byzantine.byzantine_ids
+    if observer is not None:
+        # Local decisions: every honest cluster node that got that far.
+        for node_id, instance in local_protocols.items():
+            if node_id in byzantine_ids:
+                continue
+            witness = instance.witness()
+            if witness.block is None:
+                continue
+            observer.record_decision(node_id, list(witness.block),
+                                     witness.decide_time,
+                                     domain=("cluster", cluster_of[node_id]),
+                                     digest=witness.digest)
     committed = 0
+    digest = ""
+    per_leader_digest: dict[int, str] = {}
     for leader in honest_leaders:
-        block = global_protocols[leader].block
-        if block:
-            committed = sum(len(_decode_contribution_txs(item)) for item in block)
-            break
+        witness = global_protocols[leader].witness()
+        if not witness.block:
+            continue
+        per_leader_digest[leader] = witness.digest
+        transactions = [transaction for item in witness.block
+                        for transaction in _decode_contribution_txs(item)]
+        if not digest:
+            committed = len(transactions)
+            digest = witness.digest
+        if observer is not None:
+            observer.record_decision(leader, list(witness.block),
+                                     witness.decide_time,
+                                     domain="global",
+                                     transactions=transactions,
+                                     digest=witness.digest)
     return MultiHopRunResult(
         protocol=protocol, batched=batched,
         num_clusters=scenario.topology.num_clusters,
@@ -517,6 +612,8 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
         decided=decided, latency_s=latency,
         local_latencies_s=local_latencies,
         committed_transactions=committed,
+        block_digest=digest,
+        per_leader_digest=per_leader_digest,
         channel_accesses=deployment.trace.total_channel_accesses,
         bytes_sent=deployment.trace.total_bytes_sent,
         collisions=deployment.trace.total_collisions,

@@ -1,0 +1,228 @@
+"""Safety/liveness invariant checking for testbed runs.
+
+The paper's protocols promise, under the asynchronous model with at most
+``f`` Byzantine nodes per ``N = 3f + 1`` domain:
+
+* **agreement**    -- no two honest nodes decide different blocks;
+* **total order**  -- honest nodes commit the same transactions in the same
+  canonical order (strictly stronger than digest equality only if digests
+  collide, but checked independently as a sequence comparison);
+* **validity**     -- every committed transaction originates from some node's
+  proposal (no fabrication by the adversary or the transport);
+* **liveness**     -- honest nodes decide within the scenario timeout,
+  *provided* a decision quorum survives and eventual delivery holds.
+
+A :class:`RunObserver` is threaded through the harness entry points; it
+records what every node proposed (including garbage and equivocated variants)
+and what every honest node decided, per consensus *domain* (the single-hop
+network, one multi-hop cluster, or the multi-hop leader group).  The checkers
+then turn a populated observer into :class:`InvariantVerdict` records which
+the campaign engine aggregates into per-cell conformance reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.protocols.base import block_digest
+
+#: how a recorded proposal was produced
+PROPOSAL_KINDS = ("honest", "garbage", "equivocation")
+
+
+@dataclass(frozen=True)
+class ProposalRecord:
+    """One proposal as submitted to a consensus domain."""
+
+    node_id: int
+    domain: Any
+    transactions: tuple[bytes, ...]
+    kind: str = "honest"
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROPOSAL_KINDS:
+            raise ValueError(f"unknown proposal kind {self.kind!r}; "
+                             f"known: {PROPOSAL_KINDS}")
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One honest node's decision in a consensus domain.
+
+    ``block`` is the decided sequence exactly as the protocol output it;
+    ``transactions`` is the flat application-level transaction list (for the
+    multi-hop global domain the harness decodes cluster contributions into
+    transactions; elsewhere the two coincide).
+    """
+
+    node_id: int
+    domain: Any
+    digest: str
+    decide_time: float
+    block: tuple[bytes, ...]
+    transactions: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class InvariantVerdict:
+    """Outcome of one invariant check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class RunObserver:
+    """Collects proposals and decisions during one harness run."""
+
+    def __init__(self) -> None:
+        self.proposals: list[ProposalRecord] = []
+        self.decisions: list[DecisionRecord] = []
+
+    # ---------------------------------------------------------------- record
+    def record_proposal(self, node_id: int, transactions: list[bytes],
+                        domain: Any = 0, kind: str = "honest") -> None:
+        """Record a proposal submitted by ``node_id`` in ``domain``."""
+        self.proposals.append(ProposalRecord(
+            node_id=node_id, domain=domain,
+            transactions=tuple(transactions), kind=kind))
+
+    def record_decision(self, node_id: int, block: list[bytes],
+                        decide_time: float, domain: Any = 0,
+                        transactions: Optional[list[bytes]] = None,
+                        digest: Optional[str] = None) -> None:
+        """Record an honest node's decision in ``domain``.
+
+        ``digest`` may be passed when the caller already holds the block
+        digest (the harness gets it from the protocol witness), avoiding a
+        second hash of the block.
+        """
+        block_tuple = tuple(block)
+        self.decisions.append(DecisionRecord(
+            node_id=node_id, domain=domain,
+            digest=digest if digest is not None else block_digest(list(block)),
+            decide_time=decide_time, block=block_tuple,
+            transactions=tuple(transactions) if transactions is not None
+            else block_tuple))
+
+    # ----------------------------------------------------------------- views
+    def domains(self) -> list[Any]:
+        """Every domain that saw at least one decision, in stable order."""
+        seen: list[Any] = []
+        for decision in self.decisions:
+            if decision.domain not in seen:
+                seen.append(decision.domain)
+        return seen
+
+    def decisions_in(self, domain: Any) -> list[DecisionRecord]:
+        """Decisions recorded for one domain."""
+        return [decision for decision in self.decisions
+                if decision.domain == domain]
+
+    def proposed_transactions(self) -> set[bytes]:
+        """Union of every proposed transaction (all kinds, all domains)."""
+        proposed: set[bytes] = set()
+        for proposal in self.proposals:
+            proposed.update(proposal.transactions)
+        return proposed
+
+
+# ---------------------------------------------------------------------------
+# checkers
+# ---------------------------------------------------------------------------
+
+def check_agreement(observer: RunObserver) -> InvariantVerdict:
+    """All honest decisions within each domain share one block digest."""
+    for domain in observer.domains():
+        digests = {decision.digest for decision in observer.decisions_in(domain)}
+        if len(digests) > 1:
+            return InvariantVerdict(
+                "agreement", False,
+                f"domain {domain!r} split over digests {sorted(digests)}")
+    return InvariantVerdict("agreement", True)
+
+
+def check_total_order(observer: RunObserver) -> InvariantVerdict:
+    """All honest decisions within each domain are the identical sequence."""
+    for domain in observer.domains():
+        decisions = observer.decisions_in(domain)
+        reference = decisions[0]
+        for decision in decisions[1:]:
+            if decision.block != reference.block:
+                return InvariantVerdict(
+                    "total-order", False,
+                    f"domain {domain!r}: node {decision.node_id} ordered "
+                    f"{len(decision.block)} items differently from node "
+                    f"{reference.node_id}")
+    return InvariantVerdict("total-order", True)
+
+
+def check_validity(observer: RunObserver) -> InvariantVerdict:
+    """Every committed transaction traces back to some recorded proposal."""
+    proposed = observer.proposed_transactions()
+    for decision in observer.decisions:
+        for transaction in decision.transactions:
+            if transaction not in proposed:
+                return InvariantVerdict(
+                    "validity", False,
+                    f"domain {decision.domain!r}: node {decision.node_id} "
+                    f"committed a transaction never proposed "
+                    f"({transaction[:24]!r}...)")
+    return InvariantVerdict("validity", True)
+
+
+def check_liveness(observer: RunObserver, decided: bool,
+                   expect_decision: bool, timeout_s: float,
+                   affected_domains: Optional[set[Any]] = None) -> InvariantVerdict:
+    """Decision behaviour matches the fault model's expectation.
+
+    With ``expect_decision`` the run must have decided, and every recorded
+    decision must fall inside the scenario timeout.  Without it (quorum loss,
+    permanent partition) *no* honest node may have decided in the affected
+    domains -- deciding without a live quorum would be a safety bug, not a
+    liveness one.  ``affected_domains`` scopes the non-decision expectation
+    (a multi-hop run whose leader backbone lost its quorum still decides in
+    the healthy clusters); ``None`` means every domain.
+    """
+    if expect_decision:
+        if not decided:
+            return InvariantVerdict("liveness", False,
+                                    "run timed out without a decision")
+        late = [decision for decision in observer.decisions
+                if decision.decide_time > timeout_s]
+        if late:
+            return InvariantVerdict(
+                "liveness", False,
+                f"{len(late)} decisions after the {timeout_s}s timeout")
+        return InvariantVerdict("liveness", True)
+    affected = [decision for decision in observer.decisions
+                if affected_domains is None
+                or decision.domain in affected_domains]
+    if decided or affected:
+        return InvariantVerdict(
+            "no-decision-without-quorum", False,
+            f"run decided={decided} with {len(affected)} honest decisions "
+            f"despite quorum loss")
+    return InvariantVerdict("no-decision-without-quorum", True)
+
+
+def check_all(observer: RunObserver, decided: bool, expect_decision: bool,
+              timeout_s: float,
+              affected_domains: Optional[set[Any]] = None) -> list[InvariantVerdict]:
+    """Run the full conformance suite for one testbed run.
+
+    Safety (agreement, total order, validity) is checked unconditionally --
+    it must hold even when the fault model denies liveness (the checks pass
+    vacuously over an empty decision set).
+    """
+    return [
+        check_liveness(observer, decided, expect_decision, timeout_s,
+                       affected_domains=affected_domains),
+        check_agreement(observer),
+        check_total_order(observer),
+        check_validity(observer),
+    ]

@@ -15,11 +15,17 @@ from typing import Optional
 
 
 def summarize_latencies(latencies: list[float]) -> dict[str, float]:
-    """Mean / min / max / stdev of a latency sample."""
+    """Mean / min / max / stdev of a latency sample, plus the sample count.
+
+    An empty sample (every run timed out) yields NaN statistics; the ``count``
+    key lets consumers detect that case, and the reporting layer renders NaN
+    cells as ``n/a`` instead of leaking ``nan`` into tables.
+    """
     if not latencies:
-        return {"mean": float("nan"), "min": float("nan"),
+        return {"count": 0.0, "mean": float("nan"), "min": float("nan"),
                 "max": float("nan"), "stdev": float("nan")}
     return {
+        "count": float(len(latencies)),
         "mean": statistics.fmean(latencies),
         "min": min(latencies),
         "max": max(latencies),
@@ -39,6 +45,8 @@ class ConsensusRunResult:
     per_node_latency_s: dict[int, float] = field(default_factory=dict)
     committed_transactions: int = 0
     block_digest: str = ""
+    #: digest of each honest node's decided block (agreement evidence)
+    per_node_digest: dict[int, str] = field(default_factory=dict)
     channel_accesses: int = 0
     frames_sent: int = 0
     bytes_sent: int = 0
@@ -112,6 +120,10 @@ class MultiHopRunResult:
     latency_s: float
     local_latencies_s: dict[int, float] = field(default_factory=dict)
     committed_transactions: int = 0
+    #: digest of the first honest leader's global block
+    block_digest: str = ""
+    #: digest of each honest leader's global block (agreement evidence)
+    per_leader_digest: dict[int, str] = field(default_factory=dict)
     channel_accesses: int = 0
     bytes_sent: int = 0
     collisions: int = 0

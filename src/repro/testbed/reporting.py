@@ -7,6 +7,7 @@ against the paper's figures at a glance and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable, Sequence
 
 
@@ -55,5 +56,10 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
 
 def _fmt(cell: Any) -> str:
     if isinstance(cell, float):
+        # Empty latency samples (every run timed out) surface as NaN in
+        # summaries; a table cell reading "nan" looks like a bug, so render
+        # the absence explicitly.
+        if math.isnan(cell):
+            return "n/a"
         return f"{cell:.2f}"
     return str(cell)

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.core.dma import DmaConfig
 from repro.crypto.curves import DEFAULT_EC_CURVE, DEFAULT_THRESHOLD_CURVE
+from repro.net.adversary import LinkFaultSpec, PartitionSpec
 from repro.net.csma import CsmaConfig
 from repro.net.radio import LORA_SF7_125KHZ, RadioConfig
 from repro.net.topology import MultiHopTopology, SingleHopTopology, Topology
@@ -36,6 +37,10 @@ class Scenario:
     ec_curve: str = DEFAULT_EC_CURVE
     threshold_curve: str = DEFAULT_THRESHOLD_CURVE
     byzantine: ByzantineSpec = field(default_factory=ByzantineSpec.none)
+    #: message-level link faults (drop / duplicate / reorder) the adversary applies
+    link_faults: tuple[LinkFaultSpec, ...] = ()
+    #: (transient) network partitions the adversary applies
+    partitions: tuple[PartitionSpec, ...] = ()
     #: mean per-link delivery jitter of the asynchronous adversary (seconds)
     link_jitter_s: float = 0.005
     #: extra forwarding delay per backbone hop in multi-hop deployments
@@ -72,6 +77,14 @@ class Scenario:
     def with_byzantine(self, byzantine: ByzantineSpec) -> "Scenario":
         """A copy of the scenario with a Byzantine assignment."""
         return replace(self, byzantine=byzantine)
+
+    def with_link_faults(self, *faults: LinkFaultSpec) -> "Scenario":
+        """A copy of the scenario with extra message-level link faults."""
+        return replace(self, link_faults=self.link_faults + tuple(faults))
+
+    def with_partition(self, *partitions: PartitionSpec) -> "Scenario":
+        """A copy of the scenario with extra (transient) partitions."""
+        return replace(self, partitions=self.partitions + tuple(partitions))
 
     def with_curves(self, ec_curve: str, threshold_curve: str) -> "Scenario":
         """A copy of the scenario using different signature curves."""

@@ -41,8 +41,13 @@ class TransactionWorkload:
         self.spec = spec or WorkloadSpec()
         self.seed = seed
 
-    def batch_for(self, node_id: int, epoch: int = 0) -> list[bytes]:
-        """The batch node ``node_id`` proposes in ``epoch``."""
+    def batch_for(self, node_id: int, epoch: int | str = 0) -> list[bytes]:
+        """The batch node ``node_id`` proposes in ``epoch``.
+
+        ``epoch`` is usually the integer epoch number; a string label derives
+        a disjoint deterministic batch for the same node (the testbed uses
+        ``"equiv"`` for the conflicting batch of an equivocating proposer).
+        """
         rng = random.Random(zlib.crc32(repr((self.seed, node_id, epoch)).encode()))
         batch = []
         for index in range(self.spec.batch_size):
@@ -54,7 +59,7 @@ class TransactionWorkload:
         return [self.batch_for(node_id, epoch) for node_id in range(num_nodes)]
 
     # ---------------------------------------------------------------- flavors
-    def _transaction(self, rng: random.Random, node_id: int, epoch: int,
+    def _transaction(self, rng: random.Random, node_id: int, epoch: int | str,
                      index: int) -> bytes:
         if self.spec.flavor == "task-allocation":
             body = (f"task|robot={node_id}|epoch={epoch}|task_id={index}|"

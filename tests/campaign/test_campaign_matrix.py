@@ -1,0 +1,44 @@
+"""The campaign conformance tier: every default matrix cell must stay green.
+
+One test per cell of the bounded quick matrix (3 protocol families x 9 fault
+models x {single-hop, multi-hop}, workload flavors cycled).  Each cell runs a
+full consensus epoch under fault injection and asserts the safety/liveness
+invariants.  Excluded from tier-1 by the ``campaign`` marker; run with::
+
+    PYTHONPATH=src python -m pytest -m campaign -q
+"""
+
+import pytest
+
+from repro.testbed.campaign import default_cells, run_cell
+
+CELLS = default_cells(quick=True)
+
+
+def test_default_matrix_is_large_enough():
+    # The conformance surface the campaign tier promises: at least 40 cells
+    # spanning >= 3 protocols x >= 4 fault models x both topology kinds.
+    assert len(CELLS) >= 40
+    assert len({cell.protocol for cell in CELLS}) >= 3
+    assert len({cell.fault for cell in CELLS}) >= 4
+    assert {cell.topology.kind for cell in CELLS} == {"single-hop", "multi-hop"}
+
+
+@pytest.mark.campaign
+@pytest.mark.parametrize("cell", CELLS, ids=[cell.cell_id for cell in CELLS])
+def test_campaign_cell_conformance(cell):
+    outcome = run_cell(cell, quick=True)
+    violations = [verdict for verdict in outcome.invariants if not verdict.ok]
+    assert outcome.ok, (
+        f"cell {cell.cell_id} violated "
+        f"{[f'{v.name}: {v.detail}' for v in violations]}")
+
+
+@pytest.mark.campaign
+def test_cell_replay_is_deterministic():
+    # Re-running one cell must reproduce the identical outcome record --
+    # this is what makes a red cell debuggable after the fact.
+    cell = CELLS[0]
+    first = run_cell(cell, quick=True)
+    second = run_cell(cell, quick=True)
+    assert first.to_json() == second.to_json()

@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.protocols.base import (
     PROTOCOL_NAMES,
+    ConsensusProtocol,
     ProtocolName,
     block_digest,
     decode_batch,
@@ -59,6 +60,33 @@ class TestBatchEncoding:
         assert block_digest([b"a", b"b"]) == block_digest([b"a", b"b"])
         assert block_digest([b"a", b"b"]) != block_digest([b"b", b"a"])
         assert block_digest([]) == block_digest([])
+
+
+class _FakeSim:
+    now = 3.5
+
+
+class _FakeCtx:
+    node_id = 1
+    sim = _FakeSim()
+
+
+class TestInvariantHooks:
+    def test_witness_before_and_after_decision(self):
+        protocol = ConsensusProtocol(_FakeCtx(), router=None)
+        undecided = protocol.witness()
+        assert not undecided.decided
+        assert undecided.digest is None and undecided.block is None
+        protocol._finish([b"a", b"b"])
+        witness = protocol.witness()
+        assert witness.decided and witness.node_id == 1
+        assert witness.block == (b"a", b"b")
+        assert witness.digest == block_digest([b"a", b"b"])
+        assert witness.decide_time == 3.5
+
+    def test_equivocation_hook_defaults_to_unsupported(self):
+        protocol = ConsensusProtocol(_FakeCtx(), router=None)
+        assert protocol.inject_conflicting_proposal([b"tx"]) is False
 
 
 class TestMultiHopHelpers:

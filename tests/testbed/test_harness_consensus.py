@@ -8,6 +8,7 @@ and runs are reproducible for a fixed seed.
 
 import pytest
 
+from repro.net.adversary import LinkFaultSpec, PartitionSpec
 from repro.protocols.base import ConsensusConfig
 from repro.testbed.byzantine import ByzantineSpec
 from repro.testbed.harness import (
@@ -15,7 +16,9 @@ from repro.testbed.harness import (
     run_consensus,
     run_multihop_consensus,
 )
+from repro.testbed.invariants import RunObserver, check_all
 from repro.testbed.scenarios import Scenario
+from repro.testbed.workload import WorkloadSpec
 
 
 SMALL = dict(batch_size=3, transaction_bytes=32)
@@ -106,6 +109,54 @@ class TestSingleHopConsensus:
         with pytest.raises(DeploymentError):
             run_consensus("beat", Scenario.multi_hop(), **SMALL)
 
+    def test_tolerates_equivocating_proposer(self):
+        observer = RunObserver()
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec(assignments={2: "equivocating-proposer"}))
+        result = run_consensus("honeybadger-sc", scenario, batched=True,
+                               seed=41, observer=observer, **SMALL)
+        assert result.decided
+        # agreement despite the conflicting proposals
+        assert len(set(result.per_node_digest.values())) == 1
+        # the observer saw both the real and the equivocated batch
+        kinds = {proposal.kind for proposal in observer.proposals}
+        assert "equivocation" in kinds
+        assert all(verdict.ok for verdict in check_all(
+            observer, result.decided, True, scenario.timeout_s))
+
+    def test_tolerates_lossy_links(self):
+        scenario = Scenario.single_hop(4).with_link_faults(
+            LinkFaultSpec(drop_rate=0.05, duplicate_rate=0.05,
+                          reorder_jitter_s=0.2))
+        result = run_consensus("beat", scenario, batched=True, seed=42, **SMALL)
+        assert result.decided
+
+    def test_recovers_after_partition_heals(self):
+        scenario = Scenario.single_hop(4).with_partition(
+            PartitionSpec(groups=(frozenset({0, 1}), frozenset({2, 3})),
+                          heal_s=25.0))
+        result = run_consensus("beat", scenario, batched=True, seed=43, **SMALL)
+        assert result.decided
+        assert result.latency_s > 25.0  # no decision while partitioned
+
+    def test_no_decision_after_quorum_loss(self):
+        observer = RunObserver()
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec.crash_nodes([2, 3])).replace(timeout_s=60.0)
+        result = run_consensus("beat", scenario, batched=True, seed=44,
+                               observer=observer, **SMALL)
+        assert not result.decided
+        assert not observer.decisions
+        assert result.per_node_digest == {}
+
+    def test_workload_spec_flavors_run(self):
+        spec = WorkloadSpec(batch_size=3, transaction_bytes=48,
+                            flavor="telemetry")
+        result = run_consensus("beat", Scenario.single_hop(4), seed=45,
+                               workload_spec=spec)
+        assert result.decided
+        assert result.committed_transactions >= 3 * 3
+
 
 class TestMultiHopConsensus:
     def test_two_phase_consensus_decides(self):
@@ -120,3 +171,20 @@ class TestMultiHopConsensus:
     def test_single_hop_scenario_rejected(self):
         with pytest.raises(DeploymentError):
             run_multihop_consensus("beat", Scenario.single_hop(4), **SMALL)
+
+    def test_observer_collects_domains_and_digests(self):
+        observer = RunObserver()
+        result = run_multihop_consensus("beat", Scenario.multi_hop(4, 4),
+                                        batched=True, seed=46,
+                                        observer=observer, **SMALL)
+        assert result.decided
+        # every honest leader decided the same global block
+        assert len(result.per_leader_digest) == 4
+        assert len(set(result.per_leader_digest.values())) == 1
+        assert result.block_digest in result.per_leader_digest.values()
+        domains = set(observer.domains())
+        assert "global" in domains
+        assert {("cluster", index) for index in range(4)} <= domains
+        assert all(verdict.ok for verdict in check_all(
+            observer, result.decided, True,
+            Scenario.multi_hop(4, 4).timeout_s))

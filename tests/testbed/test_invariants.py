@@ -1,0 +1,147 @@
+"""Unit tests for the conformance invariant checkers."""
+
+import pytest
+
+from repro.protocols.base import block_digest
+from repro.testbed.invariants import (
+    ProposalRecord,
+    RunObserver,
+    check_agreement,
+    check_all,
+    check_liveness,
+    check_total_order,
+    check_validity,
+)
+
+
+def observer_with(decisions, proposals=()):
+    observer = RunObserver()
+    for node_id, batch, kind in proposals:
+        observer.record_proposal(node_id, batch, kind=kind)
+    for node_id, block, time, domain in decisions:
+        observer.record_decision(node_id, block, time, domain=domain)
+    return observer
+
+
+BLOCK = [b"tx-a", b"tx-b"]
+
+
+class TestRecords:
+    def test_proposal_kind_validated(self):
+        with pytest.raises(ValueError):
+            ProposalRecord(node_id=0, domain=0, transactions=(), kind="sneaky")
+
+    def test_decision_digest_matches_block(self):
+        observer = observer_with([(0, BLOCK, 1.0, 0)])
+        assert observer.decisions[0].digest == block_digest(BLOCK)
+        assert observer.decisions[0].transactions == tuple(BLOCK)
+
+    def test_domains_preserve_order(self):
+        observer = observer_with([(0, BLOCK, 1.0, "global"),
+                                  (1, BLOCK, 1.0, ("cluster", 0)),
+                                  (2, BLOCK, 1.0, "global")])
+        assert observer.domains() == ["global", ("cluster", 0)]
+
+
+class TestAgreement:
+    def test_identical_blocks_agree(self):
+        observer = observer_with([(0, BLOCK, 1.0, 0), (1, BLOCK, 2.0, 0)])
+        assert check_agreement(observer).ok
+        assert check_total_order(observer).ok
+
+    def test_split_digests_flagged(self):
+        observer = observer_with([(0, BLOCK, 1.0, 0), (1, [b"tx-c"], 2.0, 0)])
+        verdict = check_agreement(observer)
+        assert not verdict.ok and "split" in verdict.detail
+
+    def test_domains_checked_independently(self):
+        # Different blocks in *different* domains are fine (clusters commit
+        # different local blocks); a split inside one domain is not.
+        observer = observer_with([(0, BLOCK, 1.0, ("cluster", 0)),
+                                  (1, [b"tx-z"], 1.0, ("cluster", 1))])
+        assert check_agreement(observer).ok
+
+    def test_total_order_catches_reordering(self):
+        observer = observer_with([(0, [b"a", b"b"], 1.0, 0),
+                                  (1, [b"b", b"a"], 1.0, 0)])
+        assert not check_total_order(observer).ok
+
+
+class TestValidity:
+    def test_committed_from_proposals_ok(self):
+        observer = observer_with(
+            [(0, BLOCK, 1.0, 0)],
+            proposals=[(0, [b"tx-a"], "honest"), (1, [b"tx-b"], "honest")])
+        assert check_validity(observer).ok
+
+    def test_fabricated_transaction_flagged(self):
+        observer = observer_with(
+            [(0, BLOCK, 1.0, 0)],
+            proposals=[(0, [b"tx-a"], "honest")])
+        verdict = check_validity(observer)
+        assert not verdict.ok and "never proposed" in verdict.detail
+
+    def test_equivocated_variants_count_as_proposed(self):
+        observer = observer_with(
+            [(0, [b"tx-evil"], 1.0, 0)],
+            proposals=[(0, [b"tx-good"], "honest"),
+                       (0, [b"tx-evil"], "equivocation")])
+        assert check_validity(observer).ok
+
+
+class TestLiveness:
+    def test_expected_decision_present(self):
+        observer = observer_with([(0, BLOCK, 5.0, 0)])
+        assert check_liveness(observer, decided=True, expect_decision=True,
+                              timeout_s=10.0).ok
+
+    def test_timeout_without_decision_flagged(self):
+        verdict = check_liveness(RunObserver(), decided=False,
+                                 expect_decision=True, timeout_s=10.0)
+        assert not verdict.ok
+
+    def test_late_decisions_flagged(self):
+        observer = observer_with([(0, BLOCK, 50.0, 0)])
+        assert not check_liveness(observer, decided=True, expect_decision=True,
+                                  timeout_s=10.0).ok
+
+    def test_quorum_loss_expects_silence(self):
+        assert check_liveness(RunObserver(), decided=False,
+                              expect_decision=False, timeout_s=10.0).ok
+        observer = observer_with([(0, BLOCK, 5.0, 0)])
+        assert not check_liveness(observer, decided=False,
+                                  expect_decision=False, timeout_s=10.0).ok
+
+    def test_affected_domains_scope_the_expectation(self):
+        # Multi-hop quorum loss on the backbone: clusters may still decide
+        # locally, only a *global* decision would be a violation.
+        local_only = observer_with([(0, BLOCK, 5.0, ("cluster", 0))])
+        assert check_liveness(local_only, decided=False, expect_decision=False,
+                              timeout_s=10.0,
+                              affected_domains={"global"}).ok
+        with_global = observer_with([(0, BLOCK, 5.0, "global")])
+        assert not check_liveness(with_global, decided=False,
+                                  expect_decision=False, timeout_s=10.0,
+                                  affected_domains={"global"}).ok
+
+
+class TestCheckAll:
+    def test_safety_checked_even_without_liveness_expectation(self):
+        observer = observer_with([(0, BLOCK, 1.0, ("cluster", 0)),
+                                  (1, [b"x"], 1.0, ("cluster", 0))])
+        verdicts = {verdict.name: verdict.ok
+                    for verdict in check_all(observer, decided=False,
+                                             expect_decision=False,
+                                             timeout_s=10.0,
+                                             affected_domains={"global"})}
+        assert verdicts["no-decision-without-quorum"]
+        assert not verdicts["agreement"]  # the local split must still surface
+
+    def test_green_run_produces_four_verdicts(self):
+        observer = observer_with(
+            [(0, BLOCK, 1.0, 0), (1, BLOCK, 2.0, 0)],
+            proposals=[(0, [b"tx-a", b"tx-b"], "honest")])
+        verdicts = check_all(observer, decided=True, expect_decision=True,
+                             timeout_s=10.0)
+        assert len(verdicts) == 4
+        assert all(verdict.ok for verdict in verdicts)

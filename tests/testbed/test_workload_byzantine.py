@@ -79,6 +79,24 @@ class TestByzantineSpec:
         with pytest.raises(ValueError):
             ByzantineSpec(assignments={0: "teleport"})
 
+    def test_equivocation_and_lossy_strategies(self):
+        spec = ByzantineSpec(assignments={0: "equivocating-proposer",
+                                          1: "lossy-links"})
+        assert spec.equivocates(0)
+        assert not spec.equivocates(1)
+        assert spec.proposes(0)  # equivocators do propose (twice)
+        assert spec.nodes_with("lossy-links") == [1]
+        assert spec.nodes_with("crash") == []
+        assert 0 < spec.lossy_drop_rate < 1
+
+    def test_network_fault_strategies_stay_honest(self):
+        # slow/lossy-links attack the network, not the node: the node runs
+        # honest code and must stay in the conformance evidence set.
+        spec = ByzantineSpec(assignments={0: "slow-links", 1: "lossy-links",
+                                          2: "crash"})
+        assert spec.byzantine_ids == {2}
+        assert spec.is_byzantine(0)  # still listed as under attack
+
     def test_none_spec(self):
         assert ByzantineSpec.none().byzantine_ids == set()
 
@@ -131,6 +149,19 @@ class TestMetricsAndReporting:
         stats = summarize_latencies([1.0, 2.0, 3.0])
         assert stats["mean"] == pytest.approx(2.0)
         assert stats["max"] == 3.0
+        assert stats["count"] == 3.0
+
+    def test_empty_latency_sample_renders_na_not_nan(self):
+        # An all-timeout sample yields NaN statistics; the reporting layer
+        # must render those as "n/a" instead of leaking "nan" into tables.
+        stats = summarize_latencies([])
+        assert stats["count"] == 0.0
+        assert stats["mean"] != stats["mean"]  # NaN
+        table = format_table(["metric", "value"],
+                             [["mean", stats["mean"]], ["max", stats["max"]]],
+                             title="empty sample")
+        assert "n/a" in table
+        assert "nan" not in table
 
     def test_improvement_helpers(self):
         assert improvement_percent(100.0, 50.0) == pytest.approx(50.0)
