@@ -2,53 +2,33 @@
 
 The paper measures MIRACL threshold-signature primitives (dealer, sign,
 verifyshare, combineshare, verifysignature) on an STM32F767 for BN158, BN254,
-BLS12383, BLS12381, FP256BN and FP512BN.  This benchmark reports the modelled
+BLS12383, BLS12381, FP256BN and FP512BN.  The spec reports the modelled
 per-operation latencies (the values fed into the consensus simulation) and
-times the reproduction's actual Schnorr-group substitute operations.
-"""
+exercises the reproduction's Schnorr-group substitute end to end.
 
-import random
+Thin wrapper over the ``fig10a`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
+"""
 
 import pytest
 
-from repro.crypto.curves import THRESHOLD_CURVES, get_threshold_curve
-from repro.crypto.threshold_sig import deal_threshold_sig
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Fig. 10a (threshold signature op latency)"
-HEADERS = ["curve", "dealer ms", "sign ms", "verifyshare ms", "combineshare ms",
-           "verifysignature ms", "measured sign+combine us"]
+SPEC, _result = bind("fig10a")
 
 
-@pytest.mark.parametrize("curve", sorted(THRESHOLD_CURVES))
-def test_fig10a_threshold_signature_ops(benchmark, curve):
-    profile = get_threshold_curve(curve)
-    rng = random.Random(1)
-    schemes = deal_threshold_sig(4, 3, rng)
-    message = f"fig10a|{curve}".encode()
-
-    def sign_and_combine():
-        shares = [scheme.sign_share(message, rng) for scheme in schemes[:3]]
-        return schemes[3].combine(message, shares)
-
-    signature = benchmark(sign_and_combine)
-    assert schemes[0].verify_signature(message, signature)
-
-    latencies = profile.sig_op_latencies()
-    measured_us = benchmark.stats.stats.mean * 1e6
-    record_row(FIGURE, HEADERS,
-               [curve, latencies["dealer"], latencies["sign"],
-                latencies["verifyshare"], latencies["combineshare"],
-                latencies["verifysignature"], round(measured_us, 1)],
-               title="Fig. 10a: modelled MIRACL op latency per curve (ms) and "
-                     "measured latency of the simulated substitute (us)")
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_fig10a_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
 
-def test_fig10a_bn158_is_lightest(benchmark):
-    def lightest():
-        profiles = [get_threshold_curve(name) for name in THRESHOLD_CURVES]
-        return min(profiles, key=lambda p: p.sign_share_ms)
-
-    result = benchmark(lightest)
-    assert result.name == "BN158"
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_fig10a_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

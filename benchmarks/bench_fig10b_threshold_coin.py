@@ -3,46 +3,31 @@
 Same structure as Fig. 10a but for the coin-flipping primitives (dealer, sign,
 verifyshare, combineshare), which BEAT substitutes for threshold signatures in
 the ABA common coin.  The paper's finding -- coin flipping is cheaper than
-threshold signatures on every curve -- is asserted.
-"""
+threshold signatures on every curve -- is asserted inside the cell function.
 
-import random
+Thin wrapper over the ``fig10b`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
+"""
 
 import pytest
 
-from repro.crypto.curves import THRESHOLD_CURVES, get_threshold_curve
-from repro.crypto.threshold_coin import deal_threshold_coin
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Fig. 10b (threshold coin flipping op latency)"
-HEADERS = ["curve", "dealer ms", "sign ms", "verifyshare ms", "combineshare ms",
-           "measured share+combine us"]
+SPEC, _result = bind("fig10b")
 
 
-@pytest.mark.parametrize("curve", sorted(THRESHOLD_CURVES))
-def test_fig10b_threshold_coin_ops(benchmark, curve):
-    profile = get_threshold_curve(curve)
-    rng = random.Random(2)
-    schemes = deal_threshold_coin(4, 2, rng, flavor="flip")
-    tag = f"fig10b|{curve}".encode()
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_fig10b_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
-    def share_and_combine():
-        shares = [scheme.coin_share(tag, rng) for scheme in schemes[:2]]
-        return schemes[3].combine(tag, shares)
 
-    coin = benchmark(share_and_combine)
-    assert coin in (0, 1)
-
-    latencies = profile.coin_op_latencies()
-    sig_latencies = profile.sig_op_latencies()
-    # the paper's headline: coin flipping is cheaper than threshold signatures
-    assert latencies["sign"] < sig_latencies["sign"]
-    assert latencies["combineshare"] < sig_latencies["combineshare"]
-    measured_us = benchmark.stats.stats.mean * 1e6
-    record_row(FIGURE, HEADERS,
-               [curve, latencies["dealer"], latencies["sign"],
-                latencies["verifyshare"], latencies["combineshare"],
-                round(measured_us, 1)],
-               title="Fig. 10b: modelled threshold coin-flipping op latency per "
-                     "curve (ms) and measured substitute latency (us)")
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_fig10b_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

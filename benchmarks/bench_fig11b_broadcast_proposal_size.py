@@ -4,51 +4,30 @@ The paper sweeps the proposal size (expressed as the number of packets it
 occupies) for RBC, PRBC and CBC and finds that latency grows with proposal
 size while the protocol ordering (RBC fastest, threshold-signature protocols
 slower) is preserved.
+
+Thin wrapper over the ``fig11b`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
 """
 
 import pytest
 
-from repro.testbed.harness import run_broadcast_experiment
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Fig. 11b (broadcast latency vs proposal size)"
-HEADERS = ["component", "proposal packets", "latency s", "bytes on air"]
-
-COMPONENTS = ["rbc", "prbc", "cbc"]
-SIZES = [1, 2, 3, 4]
-
-_latencies: dict[tuple, float] = {}
+SPEC, _result = bind("fig11b")
 
 
-@pytest.mark.parametrize("component", COMPONENTS)
-@pytest.mark.parametrize("packets", SIZES)
-def test_fig11b_proposal_size(benchmark, component, packets):
-    def run():
-        return run_broadcast_experiment(component, parallelism=2,
-                                        proposal_packets=packets, batched=True,
-                                        seed=310)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.completed
-    _latencies[(component, packets)] = result.latency_s
-    record_row(FIGURE, HEADERS,
-               [component, packets, round(result.latency_s, 2), result.bytes_sent],
-               title="Fig. 11b: batched broadcast protocols vs proposal size "
-                     "(2 parallel instances, single-hop N=4)")
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_fig11b_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
 
-def test_fig11b_latency_grows_with_proposal_size(benchmark):
-    def check():
-        for component in COMPONENTS:
-            for packets in (1, 4):
-                if (component, packets) not in _latencies:
-                    result = run_broadcast_experiment(
-                        component, parallelism=2, proposal_packets=packets,
-                        batched=True, seed=310)
-                    _latencies[(component, packets)] = result.latency_s
-        return dict(_latencies)
-
-    latencies = benchmark.pedantic(check, rounds=1, iterations=1)
-    for component in COMPONENTS:
-        assert latencies[(component, 4)] > latencies[(component, 1)]
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_fig11b_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

@@ -4,50 +4,30 @@ Dumbo runs its ABA instances serially; the paper sweeps 1-4 serial instances
 for ABA-LC and ABA-SC and observes (i) latency grows roughly linearly with
 the number of serial instances and (ii) at degree 1 ABA-SC is faster than
 ABA-LC (consistent with Fig. 12a at parallelism 1).
+
+Thin wrapper over the ``fig12b`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
 """
 
 import pytest
 
-from repro.testbed.harness import run_aba_experiment
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Fig. 12b (ABA latency vs serial instances)"
-HEADERS = ["ABA variant", "serial instances", "latency s", "channel accesses"]
-
-VARIANTS = ["lc", "sc"]
-SERIAL = [1, 2, 3, 4]
-
-_latencies: dict[tuple, float] = {}
+SPEC, _result = bind("fig12b")
 
 
-@pytest.mark.parametrize("kind", VARIANTS)
-@pytest.mark.parametrize("serial", SERIAL)
-def test_fig12b_aba_serial(benchmark, kind, serial):
-    def run():
-        return run_aba_experiment(kind, serial_instances=serial, batched=True,
-                                  mixed_inputs=True, seed=330)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.completed
-    _latencies[(kind, serial)] = result.latency_s
-    record_row(FIGURE, HEADERS,
-               [f"ABA-{kind.upper()}", serial, round(result.latency_s, 2),
-                result.channel_accesses],
-               title="Fig. 12b: batched serial ABA instances, single-hop N=4, "
-                     "mixed inputs")
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_fig12b_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
 
-def test_fig12b_latency_grows_with_serial_instances(benchmark):
-    def check():
-        for kind in VARIANTS:
-            for serial in (1, 4):
-                if (kind, serial) not in _latencies:
-                    result = run_aba_experiment(kind, serial_instances=serial,
-                                                batched=True, seed=330)
-                    _latencies[(kind, serial)] = result.latency_s
-        return dict(_latencies)
-
-    latencies = benchmark.pedantic(check, rounds=1, iterations=1)
-    for kind in VARIANTS:
-        assert latencies[(kind, 4)] > latencies[(kind, 1)]
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_fig12b_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

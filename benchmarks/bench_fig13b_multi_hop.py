@@ -8,75 +8,30 @@ consensus over the routed backbone.  Reproduced observations:
 * BEAT remains the best batched protocol;
 * multi-hop latency is more than single-hop latency but not a straightforward
   doubling (global consensus overlaps with local consensus).
+
+Thin wrapper over the ``fig13b`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
 """
 
 import pytest
 
-from repro.testbed.harness import run_multihop_consensus
-from repro.testbed.scenarios import Scenario
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Fig. 13b (multi-hop consensus)"
-HEADERS = ["protocol", "mode", "latency s", "throughput TPM",
-           "slowest local s"]
-
-CONFIGS = [
-    ("honeybadger-sc", True),
-    ("honeybadger-lc", True),
-    ("dumbo-sc", True),
-    ("dumbo-lc", True),
-    ("beat", True),
-    ("honeybadger-sc", False),
-    ("beat", False),
-]
-
-BATCH_SIZE = 4
-TX_BYTES = 48
-SEED = 410
-
-RESULTS: dict[tuple, object] = {}
+SPEC, _result = bind("fig13b")
 
 
-def run_config(protocol: str, batched: bool):
-    key = (protocol, batched)
-    if key not in RESULTS:
-        RESULTS[key] = run_multihop_consensus(
-            protocol, Scenario.multi_hop(4, 4), batch_size=BATCH_SIZE,
-            transaction_bytes=TX_BYTES, batched=batched, seed=SEED)
-    return RESULTS[key]
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_fig13b_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
 
-@pytest.mark.parametrize("protocol,batched", CONFIGS)
-def test_fig13b_protocol(benchmark, protocol, batched):
-    result = benchmark.pedantic(lambda: run_config(protocol, batched),
-                                rounds=1, iterations=1)
-    assert result.decided
-    mode = "ConsensusBatcher" if batched else "baseline"
-    record_row(FIGURE, HEADERS,
-               [protocol, mode, round(result.latency_s, 2),
-                round(result.throughput_tpm, 1),
-                round(result.slowest_local_latency_s or 0.0, 2)],
-               title="Fig. 13b: multi-hop (16 nodes, 4 clusters), batch=4 tx/node")
-
-
-def test_fig13b_batched_beats_baseline(benchmark):
-    def check():
-        return [(run_config(protocol, True), run_config(protocol, False))
-                for protocol in ("honeybadger-sc", "beat")]
-
-    pairs = benchmark.pedantic(check, rounds=1, iterations=1)
-    for batched, baseline in pairs:
-        assert batched.latency_s < baseline.latency_s
-        assert batched.throughput_tpm > baseline.throughput_tpm
-
-
-def test_fig13b_global_consensus_adds_less_than_double(benchmark):
-    def check():
-        return run_config("honeybadger-sc", True)
-
-    result = benchmark.pedantic(check, rounds=1, iterations=1)
-    slowest_local = result.slowest_local_latency_s
-    assert slowest_local is not None
-    assert result.latency_s > slowest_local
-    assert result.latency_s < 4 * slowest_local
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_fig13b_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

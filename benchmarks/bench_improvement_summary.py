@@ -2,52 +2,34 @@
 
 The paper reports that ConsensusBatcher-based consensus reduces latency by
 52-69 % (single-hop) / 48-59 % (multi-hop) and increases throughput by
-50-70 % / 48-62 % compared to the unbatched baselines.  This benchmark
-computes the same percentages from the Fig. 13a runs (reusing this session's
-results when available) and asserts substantial improvement in the same
-direction; exact percentages depend on the simulated radio, not the authors'
-hardware.
+50-70 % / 48-62 % compared to the unbatched baselines.  The spec computes the
+same percentages from the Fig. 13a configuration and asserts substantial
+improvement in the same direction; exact percentages depend on the simulated
+radio, not the authors' hardware.
+
+Thin wrapper over the ``improvement-summary`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
 """
 
 import pytest
 
-from repro.testbed.harness import run_consensus
-from repro.testbed.reporting import improvement_percent, increase_percent
-from repro.testbed.scenarios import Scenario
+from spec_wrapper import bind
 
-import bench_fig13a_single_hop as fig13a
-from figrecorder import record_row
-
-FIGURE = "Improvement summary (Section VI-C)"
-HEADERS = ["protocol", "latency reduction %", "throughput increase %"]
-
-PROTOCOLS = ("honeybadger-sc", "dumbo-sc", "beat")
+SPEC, _result = bind("improvement-summary")
 
 
-def _pair(protocol):
-    batched = fig13a.RESULTS.get((protocol, True))
-    baseline = fig13a.RESULTS.get((protocol, False))
-    if batched is None or baseline is None:
-        batched = run_consensus(protocol, Scenario.single_hop(4), batch_size=6,
-                                transaction_bytes=48, batched=True, seed=400)
-        baseline = run_consensus(protocol, Scenario.single_hop(4), batch_size=6,
-                                 transaction_bytes=48, batched=False, seed=400)
-        fig13a.RESULTS[(protocol, True)] = batched
-        fig13a.RESULTS[(protocol, False)] = baseline
-    return batched, baseline
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_improvement_summary_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
 
-@pytest.mark.parametrize("protocol", PROTOCOLS)
-def test_improvement_over_baseline(benchmark, protocol):
-    batched, baseline = benchmark.pedantic(lambda: _pair(protocol),
-                                           rounds=1, iterations=1)
-    latency_reduction = improvement_percent(baseline.latency_s, batched.latency_s)
-    throughput_increase = increase_percent(baseline.throughput_tpm,
-                                           batched.throughput_tpm)
-    assert latency_reduction > 20.0
-    assert throughput_increase > 20.0
-    record_row(FIGURE, HEADERS,
-               [protocol, round(latency_reduction, 1), round(throughput_increase, 1)],
-               title="Section VI-C: improvement of ConsensusBatcher over the "
-                     "unbatched baseline (single-hop; paper reports 52-69 % latency "
-                     "reduction and 50-70 % throughput increase)")
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_improvement_summary_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

@@ -3,57 +3,30 @@
 Reproduces the analytical table (wired vs. wireless baseline vs.
 ConsensusBatcher) and cross-checks the wireless columns against channel-access
 counts measured on the simulator for N = 4.
+
+Thin wrapper over the ``table1`` spec in :mod:`repro.expts.paper`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
 """
 
 import pytest
 
-from repro.core.overhead import MessageOverheadModel
-from repro.testbed.harness import run_broadcast_experiment, run_aba_experiment
+from spec_wrapper import bind
 
-from figrecorder import record_row
-
-FIGURE = "Table I (message overhead per node)"
-HEADERS = ["component", "wired", "baseline wireless", "ConsensusBatcher",
-           "measured batched/node", "measured baseline/node"]
-
-_MEASURED_COMPONENT = {
-    "RBC": ("rbc", {}),
-    "CBC": ("cbc", {}),
-    "PRBC": ("prbc", {}),
-}
+SPEC, _result = bind("table1")
 
 
-@pytest.mark.parametrize("component", ["RBC", "CBC", "PRBC", "Bracha's ABA",
-                                       "Cachin's ABA"])
-def test_table1_row(benchmark, component):
-    model = MessageOverheadModel(4)
-    row = model.row(component)
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_table1_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
 
-    def measure():
-        if component in _MEASURED_COMPONENT:
-            name, _ = _MEASURED_COMPONENT[component]
-            batched = run_broadcast_experiment(name, parallelism=4, batched=True,
-                                               seed=101)
-            baseline = run_broadcast_experiment(name, parallelism=4, batched=False,
-                                                seed=101)
-        elif component == "Cachin's ABA":
-            batched = run_aba_experiment("sc", parallel_instances=4, batched=True,
-                                         seed=101)
-            baseline = run_aba_experiment("sc", parallel_instances=4, batched=False,
-                                          seed=101)
-        else:
-            batched = run_aba_experiment("lc", parallel_instances=2, batched=True,
-                                         seed=101)
-            baseline = run_aba_experiment("lc", parallel_instances=2, batched=False,
-                                          seed=101)
-        return batched, baseline
 
-    batched, baseline = benchmark.pedantic(measure, rounds=1, iterations=1)
-    assert batched.completed and baseline.completed
-    assert batched.channel_accesses_per_node < baseline.channel_accesses_per_node
-    record_row(FIGURE, HEADERS,
-               [component, row.wired, row.wireless_baseline, row.consensus_batcher,
-                round(batched.channel_accesses_per_node, 1),
-                round(baseline.channel_accesses_per_node, 1)],
-               title="Table I: message overhead per node (N = 4); measured columns "
-                     "are simulator channel accesses per node incl. retransmissions")
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_table1_paper_claim(check):
+    """The paper claims attached to the spec hold on the full grid."""
+    check(_result().rows)

@@ -1,10 +1,11 @@
 """Shared infrastructure for the figure/table reproduction benchmarks.
 
-Each ``bench_*.py`` module regenerates one table or figure of the paper's
-evaluation section.  Benchmarks record paper-style rows through
-``figrecorder.record_row``; at the end of the session every reproduced table
-is printed to the terminal (so it lands in ``bench_output.txt``) and written
-to ``benchmarks/results/`` for EXPERIMENTS.md.
+Each ``bench_*.py`` module is a thin wrapper over one experiment spec
+registered in :mod:`repro.expts.paper` (see ``benchmarks/spec_wrapper.py``).
+At the end of the session every table produced through the runner is printed
+to the terminal (so it lands in ``bench_output.txt``) and written to
+``benchmarks/results/`` -- the same artifact store ``scripts/run_experiments.py``
+uses for its per-cell cache.
 """
 
 from __future__ import annotations
@@ -18,23 +19,25 @@ for path in (_SRC, _HERE):
     if path not in sys.path:
         sys.path.insert(0, path)
 
-import figrecorder  # noqa: E402  (needs the sys.path insertion above)
+from repro.expts import report  # noqa: E402  (needs the sys.path insertion)
+
+RESULTS_DIR = os.path.join(_HERE, "results")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Print every reproduced table and persist them under benchmarks/results/."""
-    if not figrecorder.RESULTS:
+    if not report.SESSION_RESULTS:
         return
-    os.makedirs(figrecorder.RESULTS_DIR, exist_ok=True)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
     terminalreporter.write_sep("=", "paper figure / table reproduction")
-    for figure, entry in figrecorder.RESULTS.items():
-        text = figrecorder.render(entry)
+    for spec_id, result in report.SESSION_RESULTS.items():
+        text = report.render_result_text(result)
         terminalreporter.write_line("")
         terminalreporter.write_line(text)
-        safe_name = figure.replace(" ", "_").replace("/", "-").lower()
-        with open(os.path.join(figrecorder.RESULTS_DIR, f"{safe_name}.txt"), "w",
+        with open(os.path.join(RESULTS_DIR, f"{spec_id}.txt"), "w",
                   encoding="utf-8") as handle:
             handle.write(text + "\n")
     terminalreporter.write_line("")
     terminalreporter.write_line(
-        f"(tables also written to {os.path.relpath(figrecorder.RESULTS_DIR)}/)")
+        f"(tables also written to {os.path.relpath(RESULTS_DIR)}/; full run: "
+        f"PYTHONPATH=src python scripts/run_experiments.py)")

@@ -1,0 +1,36 @@
+"""Shared scaffolding for the thin figure-benchmark wrappers.
+
+Each ``bench_*.py`` module binds one registered
+:class:`~repro.expts.specs.ExperimentSpec` and exposes two parametrised
+tests: one per grid cell (schema-validated rows) and one per paper-claim
+check.  The figure logic itself lives in :mod:`repro.expts.paper`; the
+wrapper exists so every figure remains individually invocable::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fig13a_single_hop.py -q
+
+Results are produced through :func:`repro.expts.runner.run_spec`, so
+standalone runs share the same disk cache as ``scripts/run_experiments.py``
+and register their tables with the session store the conftest renders at
+exit (the successor of the old ``figrecorder`` accumulator).
+"""
+
+from __future__ import annotations
+
+from repro.expts import registry, report
+from repro.expts.runner import run_spec
+
+
+def bind(spec_id: str):
+    """The spec for ``spec_id`` plus a lazy, memoised result accessor.
+
+    Results are memoised in :data:`repro.expts.report.SESSION_RESULTS`,
+    which doubles as the store the conftest renders at session exit.
+    """
+    spec = registry.get(spec_id)
+
+    def result():
+        if spec_id not in report.SESSION_RESULTS:
+            report.record_session_result(run_spec(spec))
+        return report.SESSION_RESULTS[spec_id]
+
+    return spec, result

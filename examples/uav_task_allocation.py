@@ -33,21 +33,17 @@ from repro.testbed.reporting import format_table
 def parse_task(transaction: bytes) -> dict:
     """Decode one task transaction produced by the task-allocation workload.
 
-    Transactions are padded to a fixed size with random filler bytes, so each
-    field value is trimmed to its printable prefix.
+    Transactions are padded to a fixed size with random filler bytes after a
+    ``|#`` terminator; only the structured prefix is parsed (the filler can
+    contain ``=`` bytes and invalid UTF-8).
     """
+    structured, _, _filler = transaction.partition(b"|#")
     fields = {}
-    for part in transaction.split(b"|"):
+    for part in structured.split(b"|"):
         if b"=" not in part:
             continue
         key, _, value = part.partition(b"=")
-        printable = []
-        for char in value.decode(errors="replace"):
-            if char.isalnum() or char in ".-":
-                printable.append(char)
-            else:
-                break
-        fields[key.decode()] = "".join(printable)
+        fields[key.decode(errors="replace")] = value.decode(errors="replace")
     return fields
 
 
@@ -64,17 +60,16 @@ def main() -> None:
     print(f"{args.robots} robots, robot {args.robots - 1} crashes 10 s into the "
           f"mission; consensus: wireless BEAT (ConsensusBatcher).\n")
 
-    result = run_consensus(
-        "beat", scenario, batch_size=args.tasks_per_robot,
-        transaction_bytes=96, batched=True, seed=args.seed)
+    spec = WorkloadSpec(batch_size=args.tasks_per_robot, transaction_bytes=96,
+                        flavor="task-allocation")
+    result = run_consensus("beat", scenario, batched=True, seed=args.seed,
+                           workload_spec=spec)
 
     if not result.decided:
         print("Consensus did not complete within the scenario timeout.")
         return
 
-    workload = TransactionWorkload(
-        WorkloadSpec(batch_size=args.tasks_per_robot, transaction_bytes=96,
-                     flavor="task-allocation"), seed=args.seed)
+    workload = TransactionWorkload(spec, seed=args.seed)
     # reconstruct the agreed task list from the decided block
     agreed = []
     for robot in range(args.robots):

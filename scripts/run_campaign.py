@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import multiprocessing
 import os
 import sys
 import time
@@ -36,17 +35,11 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.testbed.campaign import (  # noqa: E402
-    CellOutcome,
     campaign_report,
     default_cells,
-    run_cell,
+    run_matrix,
 )
 from repro.testbed.reporting import format_table  # noqa: E402
-
-
-def _run_cell_worker(args: tuple) -> CellOutcome:
-    cell, quick = args
-    return run_cell(cell, quick=quick)
 
 
 def main(argv=None) -> int:
@@ -91,12 +84,7 @@ def main(argv=None) -> int:
     workers = args.parallel or os.cpu_count() or 1
     workers = min(workers, len(cells))
     started = time.time()
-    work = [(cell, quick) for cell in cells]
-    if workers > 1:
-        with multiprocessing.Pool(processes=workers) as pool:
-            outcomes = pool.map(_run_cell_worker, work)
-    else:
-        outcomes = [_run_cell_worker(item) for item in work]
+    outcomes = run_matrix(cells, quick=quick, workers=workers)
     elapsed = time.time() - started
 
     report = campaign_report(outcomes, base_seed=args.seed, quick=quick)

@@ -1,0 +1,33 @@
+"""Experiment registry and runner: the paper's evaluation as declarative specs.
+
+Every figure, table and ablation of the paper's evaluation section is
+described by an :class:`~repro.expts.specs.ExperimentSpec` -- a declarative
+manifest of its parameter grid, protocol/topology/workload bindings, expected
+output schema and paper-claim checks -- registered in
+:mod:`repro.expts.registry` by :mod:`repro.expts.paper`.
+
+The :mod:`repro.expts.runner` executes selected specs (optionally across
+multiprocessing workers), caches per-cell results keyed by
+``(spec id, params, code fingerprint)`` under ``benchmarks/results/cache/``,
+and :mod:`repro.expts.report` turns the outcome into the byte-reproducible
+``RESULTS.json`` artifact and the auto-generated ``RESULTS.md`` document.
+
+Entry points:
+
+* ``scripts/run_experiments.py`` -- the CLI driver;
+* ``benchmarks/bench_*.py``      -- thin pytest wrappers, one per figure,
+  that run the same specs standalone;
+* :func:`repro.expts.runner.run_spec` / :func:`run_experiments` -- the
+  programmatic API.
+"""
+
+from repro.expts.registry import all_specs, ensure_loaded, get, register
+from repro.expts.specs import ExperimentSpec
+
+__all__ = [
+    "ExperimentSpec",
+    "all_specs",
+    "ensure_loaded",
+    "get",
+    "register",
+]

@@ -25,6 +25,7 @@ one, register a :class:`FaultModel` in :data:`FAULT_MODELS` (see TESTING.md).
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -429,6 +430,40 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
         channel_accesses=result.channel_accesses,
         collisions=result.collisions,
         invariants=verdicts)
+
+
+def _run_cell_task(task: tuple) -> CellOutcome:
+    """Multiprocessing adapter for :func:`run_matrix` (module-level so the
+    pool can pickle it by reference)."""
+    cell, quick = task
+    return run_cell(cell, quick=quick)
+
+
+def run_matrix(cells: list[CampaignCell], quick: bool = True,
+               workers: int = 1) -> list[CellOutcome]:
+    """Run a campaign matrix, optionally across worker processes.
+
+    Args:
+        cells: the cells to run (e.g. :func:`default_cells` or a custom
+            :meth:`CampaignSpec.cells` matrix).
+        quick: workload sizing -- ``True`` uses :data:`QUICK_WORKLOAD`
+            (3 tx x 48 B per node), ``False`` :data:`FULL_WORKLOAD`
+            (8 tx x 64 B).
+        workers: worker processes; values < 2 (or a single cell) run
+            serially in-process.
+
+    Returns outcomes in the same order as ``cells``.  Every cell is a pure
+    function of its description -- its seed is baked into the
+    :class:`CampaignCell` -- so the outcome list is identical for any
+    ``workers`` value, which is what makes ``CAMPAIGN.json`` byte-stable
+    across serial and parallel runs.
+    """
+    work = [(cell, quick) for cell in cells]
+    effective = min(max(workers, 1), len(work)) if work else 1
+    if effective > 1:
+        with multiprocessing.Pool(processes=effective) as pool:
+            return pool.map(_run_cell_task, work)
+    return [_run_cell_task(task) for task in work]
 
 
 def campaign_report(outcomes: list[CellOutcome], base_seed: int,

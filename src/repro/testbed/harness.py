@@ -359,9 +359,34 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
                   observer: Optional[RunObserver] = None) -> ConsensusRunResult:
     """Run one epoch of ``protocol`` on a single-hop scenario.
 
-    ``workload_spec`` overrides the default uniform workload (flavored
-    campaigns); ``observer`` collects proposals and decisions for the
-    conformance checkers in :mod:`repro.testbed.invariants`.
+    Args:
+        protocol: canonical protocol name (see
+            ``repro.protocols.base.PROTOCOL_NAMES``), e.g. ``honeybadger-sc``
+            or ``beat``.
+        scenario: a single-hop :class:`~repro.testbed.scenarios.Scenario`
+            (multi-hop raises :class:`DeploymentError`).
+        batch_size: transactions each node proposes per epoch.
+        transaction_bytes: size of one transaction in **bytes** (>= 8).
+        batched: ``True`` deploys the ConsensusBatcher transport, ``False``
+            the unbatched baseline transport.
+        seed: integer seed from which *all* randomness derives (crypto
+            dealing, MAC backoff, adversary jitter, workload bytes).
+        config: protocol tuning (epoch tag, ABA round cap, threshold
+            encryption toggle).
+        workload_spec: overrides the default uniform workload (flavored
+            campaigns use ``task-allocation`` / ``telemetry``).
+        observer: collects proposals and decisions for the conformance
+            checkers in :mod:`repro.testbed.invariants`.
+
+    Returns a :class:`~repro.testbed.metrics.ConsensusRunResult` whose
+    ``latency_s`` is **simulated virtual time in seconds** (NaN on timeout)
+    and ``throughput_tpm`` transactions per *minute* of virtual time.
+
+    Determinism: the result is a pure function of
+    ``(protocol, scenario, workload, batched, seed, config)`` -- no
+    wall-clock or process state enters the simulation, so equal arguments
+    reproduce every metric bit for bit (guarded by
+    ``tests/testbed/test_seed_determinism.py``).
     """
     if scenario.is_multi_hop:
         raise DeploymentError("run_consensus expects a single-hop scenario; "
@@ -501,7 +526,19 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
                            config: Optional[ConsensusConfig] = None,
                            workload_spec: Optional[WorkloadSpec] = None,
                            observer: Optional[RunObserver] = None) -> MultiHopRunResult:
-    """Run the two-phase local + global consensus on a multi-hop scenario."""
+    """Run the two-phase local + global consensus on a multi-hop scenario.
+
+    Phase one runs ``protocol`` inside every cluster on the cluster's own
+    channel; when a cluster's epoch-0 leader decides locally, it proposes
+    the decided block into a global instance of the same protocol that the
+    leaders run over the routed backbone channel (phase two).  Arguments,
+    units and the determinism guarantee match :func:`run_consensus`; the
+    scenario must be multi-hop.  The returned
+    :class:`~repro.testbed.metrics.MultiHopRunResult` adds per-cluster local
+    latencies (``local_latencies_s``, virtual seconds) and per-leader block
+    digests; ``latency_s`` is the time the *slowest honest leader* decides
+    globally.
+    """
     if not scenario.is_multi_hop:
         raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
     deployment = build_deployment(scenario, batched=batched, seed=seed)
@@ -649,9 +686,21 @@ def run_broadcast_experiment(component: str, parallelism: int = 1,
                              scenario: Optional[Scenario] = None) -> ComponentRunResult:
     """Run ``parallelism`` parallel broadcast-component instances to completion.
 
-    ``proposal_packets`` sizes the proposal in units of maximum-size frames,
-    matching the x-axis of Fig. 11b.  Small variants broadcast one-byte values
-    regardless of ``proposal_packets``.
+    Args:
+        component: ``rbc`` | ``rbc-small`` | ``cbc`` | ``cbc-small`` |
+            ``prbc`` (:class:`DeploymentError` otherwise).
+        parallelism: number of simultaneous instances; proposers rotate
+            round-robin over the nodes.
+        proposal_packets: proposal size in units of **maximum-size radio
+            frames** (the x-axis of Fig. 11b); small variants broadcast
+            one-byte values regardless.
+        num_nodes: deployment size when ``scenario`` is not given.
+        batched / seed / scenario: as in :func:`run_consensus`.
+
+    Returns a :class:`~repro.testbed.metrics.ComponentRunResult`;
+    ``latency_s`` is the virtual time at which the *last* honest node
+    completed its *last* instance (NaN on timeout).  Deterministic in
+    ``(component, parallelism, proposal_packets, scenario, batched, seed)``.
     """
     if component not in _BROADCAST_FACTORIES:
         raise DeploymentError(
@@ -718,11 +767,24 @@ def run_aba_experiment(kind: str, parallel_instances: int = 1,
                        scenario: Optional[Scenario] = None) -> ComponentRunResult:
     """Run parallel or serial ABA instances to completion.
 
-    ``kind`` is ``lc`` (Bracha, local coin), ``sc`` (shared coin) or ``cp``
-    (threshold coin flipping).  With ``serial_instances > 0`` the experiment
-    runs that many instances back to back (each starting when the previous
-    one decides locally), matching Fig. 12b; otherwise ``parallel_instances``
-    run simultaneously, matching Fig. 12a.
+    Args:
+        kind: ``lc`` (Bracha, local coin), ``sc`` (shared coin via threshold
+            signatures) or ``cp`` (threshold coin flipping, BEAT's choice).
+        parallel_instances: simultaneous instances (Fig. 12a mode); ignored
+            when ``serial_instances`` > 0.
+        serial_instances: when > 0, runs that many instances back to back,
+            each starting when the node's previous instance decides locally
+            (Fig. 12b / Dumbo's serial pattern).
+        mixed_inputs: ``True`` feeds node/instance-dependent 0/1 inputs
+            (forcing coin rounds); ``False`` lets every node input 1.
+        num_nodes / batched / seed / scenario: as in
+            :func:`run_broadcast_experiment`.
+
+    Returns a :class:`~repro.testbed.metrics.ComponentRunResult` with
+    ``rounds_executed`` summed over all nodes and instances; ``latency_s``
+    is virtual seconds (NaN on timeout).  Honest-node agreement on every
+    instance is asserted before returning.  Deterministic in all arguments
+    for a fixed ``seed``.
     """
     if kind not in ("lc", "sc", "cp"):
         raise DeploymentError(f"unknown ABA kind {kind!r}; expected lc, sc or cp")

@@ -54,11 +54,40 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
     return "\n".join(lines)
 
 
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                   align_padding: bool = True) -> str:
+    """Render a GitHub-flavoured markdown pipe table.
+
+    Cells are formatted like :func:`format_table` (floats to two decimals,
+    NaN and ``None`` as ``n/a``); with ``align_padding`` every column is
+    padded to its widest cell so the raw markdown stays readable in diffs.
+    Used by the ``RESULTS.md`` generator (:mod:`repro.expts.report`).
+    """
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    if align_padding:
+        for row in rendered_rows:
+            for index, cell in enumerate(row):
+                if index < len(widths):
+                    widths[index] = max(widths[index], len(cell))
+    lines = ["| " + " | ".join(header.ljust(widths[index])
+                               for index, header in enumerate(headers)) + " |",
+             "| " + " | ".join("-" * widths[index]
+                               for index in range(len(headers))) + " |"]
+    for row in rendered_rows:
+        lines.append("| " + " | ".join(
+            cell.ljust(widths[index]) if index < len(widths) else cell
+            for index, cell in enumerate(row)) + " |")
+    return "\n".join(lines)
+
+
 def _fmt(cell: Any) -> str:
+    # Empty latency samples (every run timed out) surface as NaN in
+    # summaries -- or as None once sanitised for JSON; a table cell reading
+    # "nan"/"None" looks like a bug, so render the absence explicitly.
+    if cell is None:
+        return "n/a"
     if isinstance(cell, float):
-        # Empty latency samples (every run timed out) surface as NaN in
-        # summaries; a table cell reading "nan" looks like a bug, so render
-        # the absence explicitly.
         if math.isnan(cell):
             return "n/a"
         return f"{cell:.2f}"

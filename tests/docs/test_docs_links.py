@@ -1,0 +1,47 @@
+"""Documentation invariants: the cross-reference web cannot rot silently."""
+
+import os
+import subprocess
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _read(name):
+    with open(os.path.join(_ROOT, name), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_link_checker_passes_on_the_repo():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(_ROOT, "scripts", "check_docs_links.py")],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_readme_and_architecture_exist_and_are_linked_from_roadmap():
+    roadmap = _read("ROADMAP.md")
+    assert "(README.md)" in roadmap
+    assert "(ARCHITECTURE.md)" in roadmap
+    assert os.path.exists(os.path.join(_ROOT, "README.md"))
+    assert os.path.exists(os.path.join(_ROOT, "ARCHITECTURE.md"))
+
+
+def test_architecture_is_linked_from_testing_and_performance():
+    assert "(ARCHITECTURE.md)" in _read("TESTING.md")
+    assert "(ARCHITECTURE.md)" in _read("PERFORMANCE.md")
+
+
+def test_results_md_is_generated_and_covers_every_spec():
+    """RESULTS.md must exist and contain one section per registered spec."""
+    sys.path.insert(0, os.path.join(_ROOT, "src"))
+    try:
+        from repro.expts import all_specs
+    finally:
+        sys.path.pop(0)
+    results = _read("RESULTS.md")
+    assert results.startswith("# RESULTS")
+    for spec in all_specs():
+        assert f"## {spec.paper_anchor} — {spec.title}" in results, \
+            f"RESULTS.md lacks a section for {spec.spec_id}"
+        assert f"registry id `{spec.spec_id}`" in results
