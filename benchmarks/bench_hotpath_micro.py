@@ -35,6 +35,11 @@ _SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from bench_scale_setup import (  # noqa: E402
+    DEALER_NUM_NODES,
+    bench_dealer,
+    dealer_speedups,
+)
 from repro.components import erasure  # noqa: E402
 from repro.crypto.group import (  # noqa: E402
     DEFAULT_GROUP,
@@ -271,9 +276,10 @@ def run_benchmarks(quick: bool = False) -> dict:
     budget = 0.15 if quick else 1.0
     results: dict[str, float] = {}
     for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
-                    bench_simulator):
+                    bench_simulator, bench_dealer):
         results.update(section(budget))
-    speedups = {
+    speedups = dealer_speedups(results)
+    speedups |= {
         "group_exp_fixed_base_vs_pow":
             results["group_exp_fixed_base"] / results["group_exp_pow"],
         "share_verify_batch_vs_seed":
@@ -292,6 +298,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "python": platform.python_version(),
         "quick": quick,
         "config": {
+            "dealer_num_nodes": DEALER_NUM_NODES,
             "num_parties": NUM_PARTIES,
             "threshold": THRESHOLD,
             "erasure_k": ERASURE_K,

@@ -1,0 +1,35 @@
+"""Scale family -- clustered consensus across 4-16 clusters (gateway profile).
+
+Reproduced observations:
+
+* 64 nodes as 8 clusters of 8 decide far faster than 64 nodes on one flat
+  channel (local consensus runs in parallel per cluster channel);
+* latency grows with the leader-group size.
+
+Thin wrapper over the ``scale-multi-hop`` spec in :mod:`repro.expts.paper`.
+"""
+
+import pytest
+
+from spec_wrapper import bind
+
+SPEC, _result = bind("scale-multi-hop")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_scale_multi_hop_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_scale_multi_hop_paper_claim(check):
+    """The scaling claims attached to the spec hold on the full grid."""
+    check(_result().rows)

@@ -1,0 +1,37 @@
+"""Scale family -- single-hop consensus swept to n=100 (gateway profile).
+
+Reproduced observations (beyond the paper's four-node testbed):
+
+* every protocol family still decides at n=100 on the scale profile;
+* latency grows super-linearly with n, motivating the paper's multi-hop
+  clustering (compare ``bench_scale_multi_hop.py``).
+
+Thin wrapper over the ``scale-single-hop`` spec in :mod:`repro.expts.paper`;
+the full grid is expensive on a cold cache (~6 min) -- the quick subsample
+runs via ``PYTHONPATH=src python scripts/run_experiments.py --quick``.
+"""
+
+import pytest
+
+from spec_wrapper import bind
+
+SPEC, _result = bind("scale-single-hop")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_scale_single_hop_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_scale_single_hop_paper_claim(check):
+    """The scaling claims attached to the spec hold on the full grid."""
+    check(_result().rows)

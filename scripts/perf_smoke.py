@@ -8,7 +8,8 @@ root, and exits non-zero if
 * any key metric is more than 2x slower than the recorded baseline, or
 * a tentpole invariant no longer holds (batched share verification >= 3x the
   seed per-share path at n=16/t=5; erasure decode >= 5x the seed
-  implementation at k=32).
+  implementation at k=32; a dealer-cache hit >= 5x a fresh n=64 domain
+  deal).
 
 Usage::
 
@@ -45,12 +46,14 @@ GATED_METRICS = (
     "erasure_encode_k32",
     "erasure_decode_k32",
     "sim_events",
+    "dealer_domain_cached_n64",
 )
 MAX_REGRESSION = 2.0
 
 # Tentpole invariants that must hold regardless of the baseline file.
 MIN_BATCH_VS_SEED = 3.0
 MIN_DECODE_VS_SEED = 5.0
+MIN_DEALER_CACHE = 5.0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"erasure decode only {speedups['erasure_decode_vs_seed']:.2f}x "
             f"the seed implementation (need >= {MIN_DECODE_VS_SEED}x)")
+    if speedups["dealer_cache_vs_fresh"] < MIN_DEALER_CACHE:
+        failures.append(
+            f"dealer-cache hit only {speedups['dealer_cache_vs_fresh']:.2f}x "
+            f"a fresh n=64 domain deal (need >= {MIN_DEALER_CACHE}x)")
 
     if not os.path.exists(args.baseline):
         failures.append(

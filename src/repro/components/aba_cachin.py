@@ -46,6 +46,10 @@ class _RoundState:
     bin_values: set[int] = field(default_factory=set)
     aux_sent: bool = False
     aux_received: dict[int, int] = field(default_factory=dict)
+    #: number of AUX senders whose value is in bin_values, maintained
+    #: incrementally (recounted when bin_values grows) -- recomputing the
+    #: support set per message is O(n) and made large-n runs O(n^4)
+    support_count: int = 0
     coin_requested: bool = False
     coin_value: Optional[int] = None
     finished: bool = False
@@ -104,9 +108,15 @@ class CachinAba(Component):
         if value in state.bval_sent:
             return
         state.bval_sent.add(value)
-        state.bval_received.setdefault(value, set()).add(self.ctx.node_id)
+        received = state.bval_received.setdefault(value, set())
+        newly_counted = self.ctx.node_id not in received
+        received.add(self.ctx.node_id)
         self.send("bval", {"value": value}, round_number=round_number,
                   payload_bytes=1, slot=value)
+        if newly_counted:
+            # Our own vote can complete a quorum; evaluate the transitions
+            # here (the local echo of the send is a duplicate and skips them).
+            self._after_bval_counted(round_number, state, value)
 
     def _on_bval(self, message: ComponentMessage) -> None:
         value = message.payload.get("value")
@@ -114,12 +124,25 @@ class CachinAba(Component):
             return
         round_number = message.round
         state = self._state(round_number)
-        state.bval_received.setdefault(value, set()).add(message.sender)
+        received = state.bval_received.setdefault(value, set())
+        if message.sender in received:
+            return  # duplicate delivery (NACK repair); state is unchanged
+        received.add(message.sender)
+        self._after_bval_counted(round_number, state, value)
+
+    def _after_bval_counted(self, round_number: int, state: _RoundState,
+                            value: int) -> None:
+        """Quorum transitions after ``value`` gained a BVAL supporter."""
         count = len(state.bval_received[value])
         if count >= self.ctx.small_quorum and value not in state.bval_sent:
             self._broadcast_bval(round_number, value)
         if count >= self.ctx.quorum and value not in state.bin_values:
             state.bin_values.add(value)
+            # AUX entries buffered before their value entered bin_values now
+            # count as support.
+            state.support_count += sum(
+                1 for aux_value in state.aux_received.values()
+                if aux_value == value)
             self._maybe_send_aux(round_number, state)
         self._maybe_reveal_coin(round_number, state)
 
@@ -129,7 +152,7 @@ class CachinAba(Component):
             return
         state.aux_sent = True
         value = next(iter(sorted(state.bin_values)))
-        state.aux_received[self.ctx.node_id] = value
+        self._record_aux(state, self.ctx.node_id, value)
         self.send("aux", {"value": value}, round_number=round_number,
                   payload_bytes=1)
         self._maybe_reveal_coin(round_number, state)
@@ -140,23 +163,32 @@ class CachinAba(Component):
             return
         round_number = message.round
         state = self._state(round_number)
-        state.aux_received.setdefault(message.sender, value)
+        if message.sender in state.aux_received:
+            return  # duplicate delivery; first value per sender counts
+        self._record_aux(state, message.sender, value)
         self._maybe_reveal_coin(round_number, state)
+
+    @staticmethod
+    def _record_aux(state: _RoundState, sender: int, value: int) -> None:
+        if sender in state.aux_received:
+            return
+        state.aux_received[sender] = value
+        if value in state.bin_values:
+            state.support_count += 1
 
     # ------------------------------------------------------------------ coin
     def _aux_support(self, state: _RoundState) -> tuple[int, set[int]]:
         """Count AUX senders whose value is in bin_values; return their values."""
-        supporters = {sender: value for sender, value in state.aux_received.items()
-                      if value in state.bin_values}
-        return len(supporters), set(supporters.values())
+        values = {value for value in state.aux_received.values()
+                  if value in state.bin_values}
+        return state.support_count, values
 
     def _maybe_reveal_coin(self, round_number: int, state: _RoundState) -> None:
         if self._halted or round_number != self.round or state.finished:
             return
         if state.coin_requested:
             return
-        support, _values = self._aux_support(state)
-        if support < self.ctx.num_nodes - self.ctx.faults:
+        if state.support_count < self.ctx.num_nodes - self.ctx.faults:
             return
         state.coin_requested = True
         self.coin.request(self._coin_round_id(round_number),

@@ -111,9 +111,13 @@ class CommonCoinManager:
             return
         if len(state.shares) < self.ctx.small_quorum:
             return
+        # Every stored share already passed per-share verification in
+        # :meth:`handle` (own shares are honestly produced), so the combine
+        # can skip its redundant batch re-verification; the modelled combine
+        # cost is charged either way and the combined element is identical.
         value = self.ctx.suite.coin_combine(self._coin_tag(round_number),
                                             list(state.shares.values()),
-                                            flavor=self.flavor)
+                                            flavor=self.flavor, verify=False)
         state.value = value
         if all(s.value is not None or not s.requested for s in self._rounds.values()):
             self.ctx.transport.mark_complete(self.kind, self.tag, 0)

@@ -41,6 +41,8 @@ class Prbc(Component):
         self._pending_deliver_hash: Optional[str] = None
         self._rbc_delivered = False
         self._done_shares: dict[int, Any] = {}
+        #: shares whose proof checked out (each verified at most once)
+        self._valid_done_shares: dict[int, Any] = {}
 
     # ------------------------------------------------------------------ start
     def start(self, value: bytes) -> None:
@@ -122,30 +124,45 @@ class Prbc(Component):
             self._done_shares[self.ctx.node_id] = share
             self.send("done", {"share": share, "hash": self.value_hash},
                       share_bytes=self.ctx.suite.threshold_share_bytes)
+        # Shares buffered before RBC delivery could not be verified (their
+        # proof message depends on the delivered value hash); ingest them now.
+        for sender, share in list(self._done_shares.items()):
+            self._ingest_done_share(sender, share)
         self._maybe_complete()
 
     def _on_done(self, message: ComponentMessage) -> None:
         share = message.payload.get("share")
         if share is None or message.sender in self._done_shares:
             return
-        # Shares can only be verified once we know the value hash they cover.
         self._done_shares[message.sender] = share
-        self._maybe_complete()
+        if self._rbc_delivered:
+            self._ingest_done_share(message.sender, share)
+            self._maybe_complete()
+
+    def _ingest_done_share(self, sender: int, share: Any) -> None:
+        """Verify one DONE share at most once (the value hash is known).
+
+        The previous implementation re-verified every buffered share on every
+        DONE arrival -- quadratic in n per instance, cubic across the n
+        parallel instances Dumbo runs.
+        """
+        if sender in self._valid_done_shares:
+            return
+        if sender == self.ctx.node_id \
+                or self.ctx.suite.tsig_verify_share(self._proof_message(), share):
+            self._valid_done_shares[sender] = share
 
     def _maybe_complete(self) -> None:
         if self.completed or not self._rbc_delivered or self.value is None:
             return
-        proof_message = self._proof_message()
-        valid_shares = []
-        for sender, share in self._done_shares.items():
-            if sender == self.ctx.node_id:
-                valid_shares.append(share)
-            elif self.ctx.suite.tsig_verify_share(proof_message, share):
-                valid_shares.append(share)
-        if len(valid_shares) < self.ctx.quorum:
+        if len(self._valid_done_shares) < self.ctx.quorum:
             return
         try:
-            self.proof = self.ctx.suite.tsig_combine(proof_message, valid_shares)
+            # Every share in the set already passed per-share verification,
+            # so the combine can skip its (redundant) batch re-verification.
+            self.proof = self.ctx.suite.tsig_combine(
+                self._proof_message(), list(self._valid_done_shares.values()),
+                verify=False)
         except ThresholdSigError:
             return
         self.complete((self.value, self.proof))

@@ -180,9 +180,11 @@ class BaseTransport:
     # --------------------------------------------------------------- signing
     @staticmethod
     def _packet_digest(packet: Packet) -> bytes:
-        descriptor = "|".join(message.describe() for message in packet.messages)
-        return hashlib.sha256(
-            f"{packet.sender}|{packet.group}|{descriptor}".encode()).digest()
+        if packet.digest is None:
+            descriptor = "|".join(message.describe() for message in packet.messages)
+            packet.digest = hashlib.sha256(
+                f"{packet.sender}|{packet.group}|{descriptor}".encode()).digest()
+        return packet.digest
 
     def _finalize_packet(self, packet: Packet) -> Packet:
         if self.config.sign_packets:

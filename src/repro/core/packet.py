@@ -100,6 +100,11 @@ class Packet:
     size_bytes: int = 0
     signed: bool = True
     signature: Any = None
+    #: transcript digest cached at signing time; packets are immutable after
+    #: finalisation and the same object reaches every simulated receiver, so
+    #: the n receivers share one real digest computation (wall clock only --
+    #: each receiver's modelled verification cost is still charged)
+    digest: Any = None
 
     def __iter__(self):
         return iter(self.messages)

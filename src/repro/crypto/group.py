@@ -234,7 +234,28 @@ def prove_dlog_equality(group: Group, secret: int, base_h: int,
 def verify_dlog_equality(group: Group, proof: ChaumPedersenProof, base_h: int,
                          value_g: int, value_h: int,
                          context: bytes = b"") -> bool:
-    """Verify a Chaum-Pedersen discrete-log-equality proof."""
+    """Verify a Chaum-Pedersen discrete-log-equality proof.
+
+    Memoised process-wide: verification is a pure function of the transcript,
+    and in a simulated broadcast domain every receiver verifies the *same*
+    share, so the n-fold re-verification across simulated nodes collapses to
+    one real computation.  The per-node CPU cost model is charged by
+    :class:`repro.crypto.timing.CryptoSuite` before this function runs, so
+    simulated virtual time is unaffected -- only wall clock.
+    """
+    return _verify_dlog_equality_cached(
+        group.p, group.q, group.g, proof.commitment_g, proof.commitment_h,
+        proof.response, base_h, value_g, value_h, context)
+
+
+@lru_cache(maxsize=32768)
+def _verify_dlog_equality_cached(p: int, q: int, g: int, commitment_g: int,
+                                 commitment_h: int, response: int, base_h: int,
+                                 value_g: int, value_h: int,
+                                 context: bytes) -> bool:
+    group = Group(p=p, q=q, g=g)
+    proof = ChaumPedersenProof(commitment_g=commitment_g,
+                               commitment_h=commitment_h, response=response)
     if not (group.is_member(value_g) and group.is_member(value_h)):
         return False
     challenge = _challenge(group, context, base_h, value_g, value_h,

@@ -180,14 +180,16 @@ class ThresholdCoinScheme:
         """Verify another node's coin share."""
         return self.public_key.verify_share(tag, share)
 
-    def combine(self, tag: bytes, shares: Iterable[CoinShare]) -> int:
+    def combine(self, tag: bytes, shares: Iterable[CoinShare],
+                verify: bool = True) -> int:
         """Reveal the coin bit for ``tag``."""
-        return self.public_key.combine(tag, list(shares))
+        return self.public_key.combine(tag, list(shares), verify=verify)
 
     def combine_value(self, tag: bytes, shares: Iterable[CoinShare],
-                      modulus: int) -> int:
+                      modulus: int, verify: bool = True) -> int:
         """Reveal a wide pseudorandom value for ``tag``."""
-        return self.public_key.combine_value(tag, list(shares), modulus)
+        return self.public_key.combine_value(tag, list(shares), modulus,
+                                             verify=verify)
 
 
 def deal_threshold_coin(num_parties: int, threshold: int, rng,

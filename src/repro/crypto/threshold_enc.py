@@ -205,9 +205,10 @@ class ThresholdEncScheme:
         return self.public_key.verify_share(ciphertext, share)
 
     def combine(self, ciphertext: Ciphertext,
-                shares: Iterable[DecryptionShare]) -> bytes:
+                shares: Iterable[DecryptionShare],
+                verify: bool = True) -> bytes:
         """Recover the plaintext from enough valid shares."""
-        return self.public_key.combine(ciphertext, list(shares))
+        return self.public_key.combine(ciphertext, list(shares), verify=verify)
 
 
 def deal_threshold_enc(num_parties: int, threshold: int, rng,

@@ -244,9 +244,10 @@ class ThresholdSigScheme:
         return self.public_key.verify_share(message, share)
 
     def combine(self, message: bytes,
-                shares: Iterable[ThresholdSigShare]) -> ThresholdSignature:
+                shares: Iterable[ThresholdSigShare],
+                verify: bool = True) -> ThresholdSignature:
         """Combine shares into a threshold signature."""
-        return self.public_key.combine(message, list(shares))
+        return self.public_key.combine(message, list(shares), verify=verify)
 
     def verify_signature(self, message: bytes,
                          signature: ThresholdSignature) -> bool:

@@ -94,6 +94,11 @@ class CryptoSuite:
     cost_sink:
         Callback charged with every operation's latency (seconds).  The node
         runtime installs a callback that extends its CPU-busy time.
+    cost_scale:
+        Multiplier on every charged latency.  The per-curve profiles model
+        the paper's STM32F767 boards; large-n scale scenarios run on
+        gateway-class hardware and scale the same relative costs down
+        (``repro.testbed.scenarios.GATEWAY_CRYPTO_SCALE``).
     """
 
     def __init__(self, node_id: int, signing_key: SigningKey,
@@ -104,7 +109,8 @@ class CryptoSuite:
                  threshold_enc: Optional[ThresholdEncScheme] = None,
                  ec_curve: str = DEFAULT_EC_CURVE,
                  threshold_curve: str = DEFAULT_THRESHOLD_CURVE,
-                 rng=None, cost_sink: Optional[CostSink] = None) -> None:
+                 rng=None, cost_sink: Optional[CostSink] = None,
+                 cost_scale: float = 1.0) -> None:
         self.node_id = node_id
         self.signing_key = signing_key
         self.verify_keys = list(verify_keys)
@@ -116,11 +122,14 @@ class CryptoSuite:
         self.threshold_profile: ThresholdCurveProfile = get_threshold_curve(threshold_curve)
         self.rng = rng
         self.cost_sink = cost_sink
+        if cost_scale <= 0:
+            raise ValueError(f"cost_scale must be positive, got {cost_scale}")
+        self.cost_scale = cost_scale
         self.ledger = CostLedger()
 
     # ------------------------------------------------------------- accounting
     def _charge(self, operation: str, milliseconds: float) -> None:
-        seconds = milliseconds / 1000.0
+        seconds = milliseconds * self.cost_scale / 1000.0
         self.ledger.record(operation, seconds)
         if self.cost_sink is not None:
             self.cost_sink(seconds)
@@ -168,11 +177,17 @@ class CryptoSuite:
         return self.threshold_sig.verify_share(message, share)
 
     def tsig_combine(self, message: bytes,
-                     shares: Iterable[ThresholdSigShare]) -> ThresholdSignature:
-        """Combine shares into a threshold signature."""
+                     shares: Iterable[ThresholdSigShare],
+                     verify: bool = True) -> ThresholdSignature:
+        """Combine shares into a threshold signature.
+
+        ``verify=False`` skips the combiner's redundant re-verification when
+        the caller has already verified every share individually (the modelled
+        combine cost is charged either way).
+        """
         self._require(self.threshold_sig, "threshold signature scheme")
         self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
-        return self.threshold_sig.combine(message, shares)
+        return self.threshold_sig.combine(message, shares, verify=verify)
 
     def tsig_verify(self, message: bytes, signature: ThresholdSignature) -> bool:
         """Verify a combined threshold signature."""
@@ -209,24 +224,26 @@ class CryptoSuite:
         return scheme.verify_share(tag, share)
 
     def coin_combine(self, tag: bytes, shares: Iterable[CoinShare],
-                     flavor: str = "tsig") -> int:
-        """Reveal the coin bit."""
+                     flavor: str = "tsig", verify: bool = True) -> int:
+        """Reveal the coin bit (``verify=False`` when every share was
+        already verified individually on receipt)."""
         scheme = self._coin_scheme(flavor)
         if flavor == "flip":
             self._charge("coinflip_combine", self.threshold_profile.coin_combine_ms)
         else:
             self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
-        return scheme.combine(tag, shares)
+        return scheme.combine(tag, shares, verify=verify)
 
     def coin_combine_value(self, tag: bytes, shares: Iterable[CoinShare],
-                           modulus: int, flavor: str = "tsig") -> int:
+                           modulus: int, flavor: str = "tsig",
+                           verify: bool = True) -> int:
         """Reveal a wide pseudorandom value (used for Dumbo's global pi)."""
         scheme = self._coin_scheme(flavor)
         if flavor == "flip":
             self._charge("coinflip_combine", self.threshold_profile.coin_combine_ms)
         else:
             self._charge("tsig_combine", self.threshold_profile.combine_share_ms)
-        return scheme.combine_value(tag, shares, modulus)
+        return scheme.combine_value(tag, shares, modulus, verify=verify)
 
     # -------------------------------------------------- threshold encryption
     def encrypt(self, plaintext: bytes, label: bytes) -> Ciphertext:
@@ -249,11 +266,12 @@ class CryptoSuite:
         return self.threshold_enc.verify_share(ciphertext, share)
 
     def decrypt(self, ciphertext: Ciphertext,
-                shares: Iterable[DecryptionShare]) -> bytes:
+                shares: Iterable[DecryptionShare],
+                verify: bool = True) -> bytes:
         """Combine decryption shares and recover the plaintext."""
         self._require(self.threshold_enc, "threshold encryption scheme")
         self._charge("tenc_combine", self.threshold_profile.combine_share_ms)
-        return self.threshold_enc.combine(ciphertext, shares)
+        return self.threshold_enc.combine(ciphertext, shares, verify=verify)
 
     # ------------------------------------------------------------------ misc
     @staticmethod

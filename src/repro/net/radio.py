@@ -31,15 +31,27 @@ class RadioConfig:
     rx_turnaround_s: float = 0.002
 
     def fragments(self, size_bytes: int) -> int:
-        """Number of PHY frames needed to carry ``size_bytes`` of payload."""
-        if size_bytes <= 0:
+        """Number of PHY frames needed to carry ``size_bytes`` of payload.
+
+        A zero-byte packet is a control frame: it still occupies one PHY frame
+        (preamble + header, no payload).  Negative sizes are a caller bug and
+        raise ``ValueError`` instead of silently billing one byte.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"payload size must be >= 0 bytes, got {size_bytes}")
+        if size_bytes == 0:
             return 1
-        return max(1, math.ceil(size_bytes / self.max_payload_bytes))
+        return math.ceil(size_bytes / self.max_payload_bytes)
 
     def airtime(self, size_bytes: int) -> float:
-        """Time on air for a packet of ``size_bytes`` (all fragments)."""
+        """Time on air for a packet of ``size_bytes`` (all fragments).
+
+        Zero-byte control frames cost exactly one preamble and no payload
+        time, consistent with :meth:`fragments`; previously ``airtime(0)``
+        billed one phantom payload byte while ``fragments(0)`` billed none.
+        """
         fragments = self.fragments(size_bytes)
-        payload_time = (max(size_bytes, 1) * 8.0) / self.bitrate_bps
+        payload_time = (size_bytes * 8.0) / self.bitrate_bps
         return fragments * self.preamble_s + payload_time
 
 

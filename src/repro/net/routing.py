@@ -39,7 +39,40 @@ class InterClusterRouting:
         for a, b in topology.cluster_links:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
+        self._check_connected()
         self._hops = self._all_pairs_hops()
+
+    def _check_connected(self) -> None:
+        """Fail fast on a partitioned backbone.
+
+        A disconnected cluster graph used to surface only as a late
+        ``TopologyError`` from :meth:`cluster_hops` once the first
+        cross-component delivery was attempted mid-run; detecting it at
+        construction names the disconnected components while the topology is
+        still being assembled.
+        """
+        components: list[list[int]] = []
+        unvisited = set(self._adjacency)
+        while unvisited:
+            start = min(unvisited)
+            component = {start}
+            frontier = deque([start])
+            while frontier:
+                current = frontier.popleft()
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in component:
+                        component.add(neighbour)
+                        frontier.append(neighbour)
+            unvisited -= component
+            components.append(sorted(component))
+        if len(components) > 1:
+            described = ", ".join(
+                "{" + ", ".join(str(index) for index in component) + "}"
+                for component in components)
+            raise TopologyError(
+                f"backbone cluster graph is disconnected: "
+                f"{len(components)} components {described}; every cluster "
+                f"pair needs a backbone route for global consensus")
 
     def _all_pairs_hops(self) -> dict[tuple[int, int], int]:
         hops: dict[tuple[int, int], int] = {}

@@ -72,11 +72,25 @@ class Topology:
         return [node_id for cluster in self.clusters for node_id in cluster.node_ids]
 
     def cluster_of(self, node_id: int) -> Cluster:
-        """The cluster containing ``node_id``."""
-        for cluster in self.clusters:
-            if node_id in cluster.node_ids:
-                return cluster
-        raise TopologyError(f"node {node_id} is not part of this topology")
+        """The cluster containing ``node_id``.
+
+        O(1) after the first call: the node -> cluster map is built lazily
+        and memoised on the instance (the dataclass is frozen, so the cache
+        is attached via ``object.__setattr__``).  The linear scan this
+        replaces made ``hop_table_for`` quadratic-times-n in large multi-hop
+        deployments.
+        """
+        index = getattr(self, "_cluster_index", None)
+        if index is None:
+            index = {node_id: cluster
+                     for cluster in self.clusters
+                     for node_id in cluster.node_ids}
+            object.__setattr__(self, "_cluster_index", index)
+        try:
+            return index[node_id]
+        except KeyError:
+            raise TopologyError(
+                f"node {node_id} is not part of this topology") from None
 
 
 class SingleHopTopology(Topology):

@@ -70,6 +70,9 @@ class HoneyBadger(ConsensusProtocol):
             on_output=self._on_acs_output)
         self._acs_output: Optional[dict[int, bytes]] = None
         self._dec_shares: dict[int, dict[int, Any]] = {}
+        #: per ACS index, the shares that verified correctly (each share is
+        #: verified at most once, when its ciphertext is known)
+        self._valid_dec_shares: dict[int, dict[int, Any]] = {}
         self._ciphertexts: dict[int, Any] = {}
         self._decrypted: dict[int, list[bytes]] = {}
         self._dec_share_sent = False
@@ -127,7 +130,12 @@ class HoneyBadger(ConsensusProtocol):
         for index, value in output.items():
             self._ciphertexts[index] = ciphertext_from_bytes(value)
         self._broadcast_dec_shares()
-        self._maybe_decrypt_all()
+        # Verify the shares buffered before the ACS output arrived (their
+        # ciphertexts were unknown until now), in arrival order.
+        for index in self._ciphertexts:
+            for sender, share in list(self._dec_shares.get(index, {}).items()):
+                self._ingest_dec_share(index, sender, share)
+        self._maybe_assemble_block()
 
     def _assemble_plain_block(self, output: dict[int, bytes]) -> None:
         block: list[bytes] = []
@@ -161,30 +169,51 @@ class HoneyBadger(ConsensusProtocol):
         if message.sender in shares:
             return
         shares[message.sender] = share
-        self._maybe_decrypt_all()
+        if self._acs_output is None:
+            # The ciphertext for this index is not known yet; the share is
+            # buffered and verified once the ACS output arrives.
+            return
+        self._ingest_dec_share(index, message.sender, share)
+        self._maybe_assemble_block()
 
-    def _maybe_decrypt_all(self) -> None:
+    def _ingest_dec_share(self, index: int, sender: int, share: Any) -> None:
+        """Verify one share (at most once) and decrypt when a quorum forms.
+
+        The previous implementation re-verified *every* buffered share of
+        *every* undecrypted ciphertext on *every* share arrival -- O(n^4)
+        verifications per node per epoch, the dominant cost of large-n runs.
+        Shares are now verified exactly once, on the event that delivers
+        them, and only their own index is re-examined; the decrypted payload
+        (any ``f + 1`` valid shares interpolate to the same plaintext) and
+        the RNG stream are unchanged.
+        """
+        if self.decided or index in self._decrypted:
+            return
+        ciphertext = self._ciphertexts.get(index)
+        if ciphertext is None:
+            return
+        valid = self._valid_dec_shares.setdefault(index, {})
+        if sender in valid:
+            return
+        if sender == self.ctx.node_id:
+            valid[sender] = share
+        elif self.ctx.suite.verify_decryption_share(ciphertext, share):
+            valid[sender] = share
+        if len(valid) < self.ctx.small_quorum:
+            return
+        # Every share in ``valid`` already passed per-share verification.
+        payload = self.ctx.suite.decrypt(ciphertext, list(valid.values()),
+                                         verify=False)
+        try:
+            self._decrypted[index] = decode_batch(payload)
+        except ValueError:
+            # A Byzantine proposer contributed garbage; include nothing.
+            self._decrypted[index] = []
+        self.ctx.transport.mark_complete(self.DEC_KIND, self.tag, index)
+
+    def _maybe_assemble_block(self) -> None:
         if self.decided or self._acs_output is None:
             return
-        for index, ciphertext in self._ciphertexts.items():
-            if index in self._decrypted:
-                continue
-            shares = self._dec_shares.get(index, {})
-            valid = []
-            for sender, share in shares.items():
-                if sender == self.ctx.node_id:
-                    valid.append(share)
-                elif self.ctx.suite.verify_decryption_share(ciphertext, share):
-                    valid.append(share)
-            if len(valid) < self.ctx.small_quorum:
-                continue
-            payload = self.ctx.suite.decrypt(ciphertext, valid)
-            try:
-                self._decrypted[index] = decode_batch(payload)
-            except ValueError:
-                # A Byzantine proposer contributed garbage; include nothing.
-                self._decrypted[index] = []
-            self.ctx.transport.mark_complete(self.DEC_KIND, self.tag, index)
         if len(self._decrypted) == len(self._ciphertexts):
             block: list[bytes] = []
             for index in sorted(self._decrypted):

@@ -31,6 +31,11 @@ def select_leader(cluster: Cluster, epoch: int, excluded: frozenset[int] = froze
     The paper randomly selects a changeable leader; determinism (seeded by the
     epoch) keeps simulation runs reproducible while preserving the property
     that a misbehaving leader can be rotated out (pass its id in ``excluded``).
+
+    ``excluded`` is per-call only -- a caller that rotates leaders across
+    epochs must persist the exclusions itself or a rotated-out Byzantine
+    leader would be re-eligible next epoch.  Use :class:`LeaderSchedule` for
+    that stateful discipline.
     """
     candidates = [node_id for node_id in cluster.node_ids if node_id not in excluded]
     if not candidates:
@@ -38,6 +43,38 @@ def select_leader(cluster: Cluster, epoch: int, excluded: frozenset[int] = froze
     seed = int.from_bytes(
         hashlib.sha256(f"leader|{cluster.index}|{epoch}".encode()).digest(), "big")
     return candidates[seed % len(candidates)]
+
+
+class LeaderSchedule:
+    """Leader rotation for one cluster with exclusions that persist.
+
+    :func:`select_leader` takes the excluded set per call, which makes it
+    easy for a driver to forget rotated-out leaders between epochs (the bug
+    this class fixes): once a Byzantine leader is excluded, it must never be
+    re-selected for any later epoch.  The schedule accumulates exclusions and
+    threads them into every selection.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._excluded: set[int] = set()
+
+    @property
+    def excluded(self) -> frozenset[int]:
+        """The nodes rotated out so far (persists across epochs)."""
+        return frozenset(self._excluded)
+
+    def exclude(self, node_id: int) -> None:
+        """Permanently rotate ``node_id`` out of the leader candidacy."""
+        if node_id not in self.cluster.node_ids:
+            raise ValueError(
+                f"node {node_id} is not in cluster {self.cluster.index}")
+        self._excluded.add(node_id)
+
+    def leader(self, epoch: int) -> int:
+        """The epoch's leader, never one of the excluded nodes."""
+        return select_leader(self.cluster, epoch,
+                             excluded=frozenset(self._excluded))
 
 
 def encode_cluster_contribution(cluster_index: int, block: list[bytes]) -> bytes:

@@ -55,23 +55,37 @@ CAMPAIGN_FLAVORS = ("uniform", "task-allocation", "telemetry")
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """One point on the campaign's topology axis."""
+    """One point on the campaign's topology axis.
+
+    ``profile`` selects the substrate: ``"paper"`` is the LoRa + STM32
+    testbed of Section VI-C; ``"scale"`` is the gateway-class large-n
+    profile (:meth:`Scenario.scale_single_hop`), which is what makes
+    n >= 31 campaign cells finish -- the paper's radio physically saturates
+    above n ~ 16.
+    """
 
     kind: str  # "single-hop" | "multi-hop"
     num_nodes: int = 0
     num_clusters: int = 0
     cluster_size: int = 0
+    profile: str = "paper"  # "paper" | "scale"
+
+    def __post_init__(self) -> None:
+        if self.profile not in ("paper", "scale"):
+            raise ValueError(f"unknown topology profile {self.profile!r}; "
+                             f"known: paper, scale")
 
     @classmethod
-    def single(cls, num_nodes: int) -> "TopologySpec":
+    def single(cls, num_nodes: int, profile: str = "paper") -> "TopologySpec":
         """A single-hop deployment of ``num_nodes`` nodes."""
-        return cls(kind="single-hop", num_nodes=num_nodes)
+        return cls(kind="single-hop", num_nodes=num_nodes, profile=profile)
 
     @classmethod
-    def multi(cls, num_clusters: int, cluster_size: int) -> "TopologySpec":
+    def multi(cls, num_clusters: int, cluster_size: int,
+              profile: str = "paper") -> "TopologySpec":
         """A clustered multi-hop deployment."""
         return cls(kind="multi-hop", num_clusters=num_clusters,
-                   cluster_size=cluster_size)
+                   cluster_size=cluster_size, profile=profile)
 
     @property
     def is_multi_hop(self) -> bool:
@@ -80,13 +94,21 @@ class TopologySpec:
 
     @property
     def label(self) -> str:
-        """Compact identifier used in cell ids (``sh4``, ``mh4x4``)."""
+        """Compact identifier used in cell ids (``sh4``, ``mh4x4``,
+        ``scale-sh31``)."""
         if self.is_multi_hop:
-            return f"mh{self.num_clusters}x{self.cluster_size}"
-        return f"sh{self.num_nodes}"
+            base = f"mh{self.num_clusters}x{self.cluster_size}"
+        else:
+            base = f"sh{self.num_nodes}"
+        return base if self.profile == "paper" else f"scale-{base}"
 
     def base_scenario(self) -> Scenario:
         """The fault-free scenario for this topology."""
+        if self.profile == "scale":
+            if self.is_multi_hop:
+                return Scenario.scale_multi_hop(self.num_clusters,
+                                                self.cluster_size)
+            return Scenario.scale_single_hop(self.num_nodes)
         if self.is_multi_hop:
             return Scenario.multi_hop(self.num_clusters, self.cluster_size)
         return Scenario.single_hop(self.num_nodes)
@@ -328,14 +350,28 @@ class CampaignSpec:
         return matrix
 
 
+#: large-n quick cells: every protocol family at n=31 single-hop plus the
+#: 8x8 clustered deployment, fault-free and under crash faults (the scale
+#: profile keeps them a few seconds each)
+SCALE_QUICK_CELLS = (
+    ("honeybadger-sc", TopologySpec.single(31, profile="scale"), "none"),
+    ("honeybadger-sc", TopologySpec.multi(8, 8, profile="scale"), "none"),
+    ("beat", TopologySpec.single(31, profile="scale"), "crash-f"),
+    ("dumbo-sc", TopologySpec.single(31, profile="scale"), "garbage"),
+)
+
+
 def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     """The bounded default matrix.
 
     Quick mode: 3 protocols x 9 fault models x {single-hop n=4, multi-hop
     4x4} with workload flavors cycled across cells -- 54 cells, every fault
-    model exercised on both topologies by every protocol family.  Full mode
-    adds larger single-hop deployments (n=7, n=10) and a second seed per
-    cell, at uniform flavor, on the fault models that scale with n.
+    model exercised on both topologies by every protocol family -- plus the
+    four large-n cells of :data:`SCALE_QUICK_CELLS` on the gateway-class
+    scale profile.  Full mode adds larger single-hop deployments (n=7,
+    n=10) and a second seed per cell at uniform flavor on the fault models
+    that scale with n, and a large-n sweep (scale profile, n=64 single-hop
+    and 8x8 / 16x4 clustered) over the start-state fault models.
     """
     topologies = [TopologySpec.single(4), TopologySpec.multi(4, 4)]
     cells: list[CampaignCell] = []
@@ -350,12 +386,25 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
                     seed=stable_seed(base_seed, protocol, topology.label,
                                      fault, flavor, 0)))
                 index += 1
+    for protocol, topology, fault in SCALE_QUICK_CELLS:
+        cells.append(CampaignCell(
+            protocol=protocol, topology=topology, fault=fault,
+            flavor="uniform",
+            seed=stable_seed(base_seed, protocol, topology.label, fault,
+                             "uniform", 0)))
     if not quick:
         extra = CampaignSpec(
             topologies=(TopologySpec.single(7), TopologySpec.single(10)),
             faults=("none", "crash-f", "garbage", "equivocate", "quorum-loss"),
             seeds=(0, 1), base_seed=base_seed)
         cells.extend(extra.cells())
+        large = CampaignSpec(
+            topologies=(TopologySpec.single(64, profile="scale"),
+                        TopologySpec.multi(8, 8, profile="scale"),
+                        TopologySpec.multi(16, 4, profile="scale")),
+            faults=("none", "crash-f", "garbage", "quorum-loss"),
+            seeds=(0,), base_seed=base_seed)
+        cells.extend(large.cells())
     return cells
 
 

@@ -1,0 +1,287 @@
+"""Deterministic crypto-domain dealer with process-local and on-disk caches.
+
+Every deployment the harness assembles needs a *crypto domain* per consensus
+group: a digital-signature keyring plus up to four threshold schemes, each an
+O(n^2) Shamir dealing (n share evaluations, n fixed-base exponentiations for
+the verify keys).  Campaign matrices and experiment sweeps repeat the same
+``(num_nodes, seed)`` cells over and over -- across cells, across worker
+processes and across runs -- so dealing from scratch each time makes large-n
+sweeps pay the setup cost repeatedly.
+
+This module makes dealing
+
+* **deterministic per scheme**: each scheme is dealt from its own child RNG
+  stream derived from ``(domain seed, scheme name)``, so any *subset* of
+  schemes can be dealt lazily (a protocol that never flips coins skips the
+  ``coin_flip`` dealing entirely) without perturbing the keys of the others;
+* **cached**: dealt schemes are memoised per process and persisted to disk
+  under ``benchmarks/results/dealer_cache/``, keyed by
+  ``(num_nodes, seed, scheme, crypto-code fingerprint)`` -- the same
+  fingerprint discipline as the experiment result cache in
+  :mod:`repro.expts.runner`, scoped to the files that actually determine the
+  dealt keys.  A cache hit is bit-identical to a fresh deal (guarded by
+  ``tests/testbed/test_dealer_cache.py``), so caching can only change wall
+  clock, never simulation results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.crypto.digital_sig import generate_keyring
+from repro.crypto.threshold_coin import deal_threshold_coin
+from repro.crypto.threshold_enc import deal_threshold_enc
+from repro.crypto.threshold_sig import deal_threshold_sig
+from repro.net.topology import faults_tolerated
+
+
+def stable_seed(*parts) -> int:
+    """Derive a process-independent integer seed from arbitrary parts.
+
+    Python's built-in ``hash`` is salted per process, which would make runs
+    irreproducible across invocations; a CRC of the canonical repr is stable.
+    """
+    return zlib.crc32(repr(parts).encode()) & 0xFFFFFFFF
+
+
+#: scheme names, in the canonical order CryptoDomain stores them
+SCHEME_KEYRING = "keyring"
+SCHEME_THRESHOLD_SIG = "threshold_sig"
+SCHEME_THRESHOLD_COIN = "threshold_coin"
+SCHEME_COIN_FLIP = "coin_flip"
+SCHEME_THRESHOLD_ENC = "threshold_enc"
+
+ALL_SCHEMES = (SCHEME_KEYRING, SCHEME_THRESHOLD_SIG, SCHEME_THRESHOLD_COIN,
+               SCHEME_COIN_FLIP, SCHEME_THRESHOLD_ENC)
+
+#: default on-disk tier, resolved relative to the repo root
+CACHE_DIR_NAME = os.path.join("benchmarks", "results", "dealer_cache")
+
+
+@dataclass
+class CryptoDomain:
+    """Key material for one consensus domain (a cluster, or the leader group).
+
+    Schemes the deployment's protocol does not need are ``None`` (dealt
+    lazily only when requested); :meth:`node_scheme` hands out per-node
+    handles and tolerates missing schemes, matching the ``Optional`` scheme
+    parameters of :class:`repro.crypto.timing.CryptoSuite`.
+    """
+
+    num_nodes: int
+    faults: int
+    signing_keys: list
+    verify_keys: list
+    threshold_sig: Optional[list] = None
+    threshold_coin: Optional[list] = None
+    coin_flip: Optional[list] = None
+    threshold_enc: Optional[list] = None
+
+    def node_scheme(self, scheme: str, local_id: int):
+        """Node ``local_id``'s handle for ``scheme`` (None when not dealt)."""
+        holders = getattr(self, scheme)
+        return None if holders is None else holders[local_id]
+
+
+def _scheme_rng(domain_seed: int, scheme: str) -> random.Random:
+    """The independent child RNG stream one scheme is dealt from.
+
+    Independence is what makes lazy subsets sound: skipping one scheme can
+    never shift the randomness another scheme consumes.
+    """
+    return random.Random(stable_seed("dealer-v1", domain_seed, scheme))
+
+
+def deal_scheme(scheme: str, num_nodes: int, domain_seed: int):
+    """Deal one scheme for a domain, from its own deterministic stream.
+
+    Returns ``(signing_keys, verify_keys)`` for the keyring and a list of
+    per-node scheme handles for the threshold schemes.
+    """
+    faults = faults_tolerated(num_nodes)
+    rng = _scheme_rng(domain_seed, scheme)
+    if scheme == SCHEME_KEYRING:
+        return generate_keyring(num_nodes, rng)
+    if scheme == SCHEME_THRESHOLD_SIG:
+        return deal_threshold_sig(num_nodes, 2 * faults + 1, rng)
+    if scheme == SCHEME_THRESHOLD_COIN:
+        return deal_threshold_coin(num_nodes, faults + 1, rng, flavor="tsig")
+    if scheme == SCHEME_COIN_FLIP:
+        return deal_threshold_coin(num_nodes, faults + 1, rng, flavor="flip")
+    if scheme == SCHEME_THRESHOLD_ENC:
+        return deal_threshold_enc(num_nodes, faults + 1, rng)
+    raise ValueError(f"unknown scheme {scheme!r}; known: {ALL_SCHEMES}")
+
+
+def _crypto_fingerprint() -> str:
+    """Fingerprint of the sources that determine dealt key material.
+
+    The experiment cache fingerprints all of ``src/repro`` (any change may
+    change a *result*); dealt keys only depend on ``repro.crypto`` and this
+    module, so the dealer cache survives unrelated edits (a net-layer tweak
+    does not re-deal every domain) while any change to the dealing logic or
+    the primitives invalidates it.
+    """
+    from repro.expts.runner import code_fingerprint
+
+    crypto_root = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "crypto")
+    with open(os.path.abspath(__file__), "rb") as handle:
+        own_crc = zlib.crc32(handle.read())
+    return hashlib.sha256(
+        f"{code_fingerprint(crypto_root)}|{own_crc}".encode()).hexdigest()[:16]
+
+
+def _default_cache_dir() -> str:
+    from repro.expts.runner import repo_root
+
+    return os.path.join(repo_root(), CACHE_DIR_NAME)
+
+
+class DealerCache:
+    """Two-tier (process dict + disk pickle) cache of dealt schemes.
+
+    The disk tier uses the same discipline as ``repro.expts.runner``'s result
+    cache: one file per content key, atomic rename on write (concurrent
+    workers race benignly), and a corrupt or unreadable entry behaves like a
+    miss.  Because dealing is a pure function of ``(num_nodes, seed,
+    scheme)`` plus the fingerprinted code, a hit is bit-identical to a fresh
+    deal.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 use_disk: bool = True) -> None:
+        self._directory = directory
+        self.use_disk = use_disk
+        self._memory: dict[tuple, object] = {}
+        self._fingerprint: Optional[str] = None
+        #: instrumentation for tests/benchmarks
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def directory(self) -> str:
+        """The disk-tier directory (resolved lazily)."""
+        if self._directory is None:
+            self._directory = _default_cache_dir()
+        return self._directory
+
+    def fingerprint(self) -> str:
+        """The (memoised) crypto-code fingerprint keying every entry."""
+        if self._fingerprint is None:
+            self._fingerprint = _crypto_fingerprint()
+        return self._fingerprint
+
+    # ----------------------------------------------------------------- tiers
+    def _disk_path(self, key: tuple) -> str:
+        payload = json.dumps(
+            {"n": key[0], "f": key[1], "seed": key[2], "scheme": key[3],
+             "code": key[4]},
+            sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        return os.path.join(self.directory, f"{digest}.pkl")
+
+    def _disk_get(self, key: tuple):
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def _disk_put(self, key: tuple, value) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            path = self._disk_path(key)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a read-only checkout degrades to process-local caching
+
+    # ------------------------------------------------------------------- API
+    def scheme(self, scheme: str, num_nodes: int, domain_seed: int):
+        """One scheme's dealt material, through both cache tiers.
+
+        The derived fault bound is part of the key: the thresholds the
+        schemes are dealt at come from ``faults_tolerated``, which lives
+        outside the fingerprinted crypto sources — keying on it ensures a
+        change to the ``n = 3f + 1`` rule can never serve key material dealt
+        under the old thresholds.
+        """
+        key = (num_nodes, faults_tolerated(num_nodes), domain_seed, scheme,
+               self.fingerprint())
+        value = self._memory.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        if self.use_disk:
+            value = self._disk_get(key)
+            if value is not None:
+                self.hits += 1
+                self._memory[key] = value
+                return value
+        self.misses += 1
+        value = deal_scheme(scheme, num_nodes, domain_seed)
+        self._memory[key] = value
+        if self.use_disk:
+            self._disk_put(key, value)
+        return value
+
+    def domain(self, num_nodes: int, domain_seed: int,
+               schemes: Sequence[str] = ALL_SCHEMES,
+               signing_keys=None, verify_keys=None) -> CryptoDomain:
+        """Assemble a :class:`CryptoDomain` dealing only ``schemes``.
+
+        ``signing_keys`` / ``verify_keys`` may be passed in when the domain
+        shares an externally dealt digital-signature keyring.
+        """
+        unknown = set(schemes) - set(ALL_SCHEMES)
+        if unknown:
+            raise ValueError(f"unknown schemes {sorted(unknown)}; "
+                             f"known: {ALL_SCHEMES}")
+        if signing_keys is None or verify_keys is None:
+            signing_keys, verify_keys = self.scheme(
+                SCHEME_KEYRING, num_nodes, domain_seed)
+        wanted = set(schemes)
+        domain = CryptoDomain(
+            num_nodes=num_nodes,
+            faults=faults_tolerated(num_nodes),
+            signing_keys=list(signing_keys),
+            verify_keys=list(verify_keys),
+        )
+        for scheme in (SCHEME_THRESHOLD_SIG, SCHEME_THRESHOLD_COIN,
+                       SCHEME_COIN_FLIP, SCHEME_THRESHOLD_ENC):
+            if scheme in wanted:
+                # Copy the list (like the keyring above): a caller mutating
+                # its domain must not poison the shared process cache.
+                setattr(domain, scheme,
+                        list(self.scheme(scheme, num_nodes, domain_seed)))
+        return domain
+
+
+#: the shared default cache used by the harness
+DEFAULT_DEALER_CACHE = DealerCache()
+
+
+def deal_crypto_domain(num_nodes: int, domain_seed: int,
+                       schemes: Sequence[str] = ALL_SCHEMES,
+                       signing_keys=None, verify_keys=None,
+                       cache: Optional[DealerCache] = None) -> CryptoDomain:
+    """Deal (or fetch from cache) every scheme a consensus domain needs.
+
+    The result is a pure function of ``(num_nodes, domain_seed)`` per scheme:
+    repeated calls -- in this process, another worker, or another run --
+    return bit-identical key material.
+    """
+    cache = cache if cache is not None else DEFAULT_DEALER_CACHE
+    return cache.domain(num_nodes, domain_seed, schemes=schemes,
+                        signing_keys=signing_keys, verify_keys=verify_keys)

@@ -20,9 +20,8 @@ goes through these entry points:
 from __future__ import annotations
 
 import random
-import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.components.aba_bracha import BrachaAba
 from repro.components.aba_cachin import CachinAba
@@ -40,10 +39,6 @@ from repro.core.batcher import (
     ConsensusBatcherTransport,
     TransportConfig,
 )
-from repro.crypto.digital_sig import generate_keyring
-from repro.crypto.threshold_coin import deal_threshold_coin
-from repro.crypto.threshold_enc import deal_threshold_enc
-from repro.crypto.threshold_sig import deal_threshold_sig
 from repro.crypto.timing import CryptoSuite
 from repro.net.adversary import AsyncAdversary, DelayModel, LinkFaultSpec
 from repro.net.channel import WirelessChannel
@@ -51,14 +46,25 @@ from repro.net.csma import CsmaMac
 from repro.net.node import NetworkNode
 from repro.net.routing import InterClusterRouting
 from repro.net.sim import Simulator
-from repro.net.topology import Cluster, faults_tolerated
+from repro.net.topology import Cluster
 from repro.net.trace import NetworkTrace
 from repro.protocols.base import ConsensusConfig, ConsensusProtocol, ProtocolName
 from repro.protocols.beat import Beat
 from repro.protocols.dumbo import Dumbo
 from repro.protocols.honeybadger import HoneyBadger
-from repro.protocols.multihop import ClusterOutcome, MultiHopResult, select_leader
-from repro.testbed.byzantine import ByzantineSpec
+from repro.protocols.multihop import ClusterOutcome, LeaderSchedule, MultiHopResult
+from repro.testbed.dealer_cache import (
+    ALL_SCHEMES,
+    SCHEME_COIN_FLIP,
+    SCHEME_KEYRING,
+    SCHEME_THRESHOLD_COIN,
+    SCHEME_THRESHOLD_ENC,
+    SCHEME_THRESHOLD_SIG,
+    CryptoDomain,
+    DealerCache,
+    deal_crypto_domain,
+    stable_seed,
+)
 from repro.testbed.invariants import RunObserver
 from repro.testbed.metrics import (
     ComponentRunResult,
@@ -71,14 +77,9 @@ from repro.testbed.workload import TransactionWorkload, WorkloadSpec
 #: epoch tag used to derive the conflicting batch of an equivocating proposer
 EQUIVOCATION_EPOCH = "equiv"
 
-
-def stable_seed(*parts) -> int:
-    """Derive a process-independent integer seed from arbitrary parts.
-
-    Python's built-in ``hash`` is salted per process, which would make runs
-    irreproducible across invocations; a CRC of the canonical repr is stable.
-    """
-    return zlib.crc32(repr(parts).encode()) & 0xFFFFFFFF
+# CryptoDomain / deal_crypto_domain / stable_seed moved to
+# repro.testbed.dealer_cache in PR 4; they stay importable from the harness.
+_REEXPORTED = (CryptoDomain, deal_crypto_domain, stable_seed)
 
 
 class DeploymentError(RuntimeError):
@@ -89,40 +90,34 @@ class DeploymentError(RuntimeError):
 # crypto domains
 # ---------------------------------------------------------------------------
 
-@dataclass
-class CryptoDomain:
-    """Key material for one consensus domain (a cluster, or the leader group)."""
+def crypto_schemes_for_protocol(protocol: str,
+                                config: Optional[ConsensusConfig] = None
+                                ) -> tuple[str, ...]:
+    """The threshold schemes one protocol actually uses (lazy dealing).
 
-    num_nodes: int
-    faults: int
-    signing_keys: list
-    verify_keys: list
-    threshold_sig: list
-    threshold_coin: list
-    coin_flip: list
-    threshold_enc: list
-
-
-def deal_crypto_domain(num_nodes: int, rng: random.Random,
-                       signing_keys=None, verify_keys=None) -> CryptoDomain:
-    """Deal every scheme a consensus domain needs.
-
-    ``signing_keys`` / ``verify_keys`` may be passed in when the domain shares
-    the network-wide digital-signature keyring (multi-hop global domain).
+    Every domain needs the digital-signature keyring (packet signing); beyond
+    that, HoneyBadger needs the coin of its ABA variant plus threshold
+    encryption (when enabled), BEAT substitutes the coin-flipping scheme, and
+    Dumbo needs threshold signatures (PRBC DONE / CBC FINISH) plus the
+    threshold coin that derives its global permutation.  Dealing only these
+    keeps large-n setup proportional to what the run can exercise.
     """
-    faults = faults_tolerated(num_nodes)
-    if signing_keys is None or verify_keys is None:
-        signing_keys, verify_keys = generate_keyring(num_nodes, rng)
-    return CryptoDomain(
-        num_nodes=num_nodes,
-        faults=faults,
-        signing_keys=signing_keys,
-        verify_keys=verify_keys,
-        threshold_sig=deal_threshold_sig(num_nodes, 2 * faults + 1, rng),
-        threshold_coin=deal_threshold_coin(num_nodes, faults + 1, rng, flavor="tsig"),
-        coin_flip=deal_threshold_coin(num_nodes, faults + 1, rng, flavor="flip"),
-        threshold_enc=deal_threshold_enc(num_nodes, faults + 1, rng),
-    )
+    canonical = ProtocolName.validate(protocol)
+    family = ProtocolName.family(canonical)
+    coin = ProtocolName.coin(canonical)
+    config = config or ConsensusConfig()
+    needed: set[str] = {SCHEME_KEYRING}
+    if family == "dumbo":
+        needed.add(SCHEME_THRESHOLD_SIG)
+        needed.add(SCHEME_THRESHOLD_COIN)  # the "pi" permutation coin
+    else:  # honeybadger / beat share the HoneyBadger structure
+        if config.use_threshold_encryption:
+            needed.add(SCHEME_THRESHOLD_ENC)
+    if coin == "sc":
+        needed.add(SCHEME_THRESHOLD_COIN)
+    elif coin == "cp":
+        needed.add(SCHEME_COIN_FLIP)
+    return tuple(scheme for scheme in ALL_SCHEMES if scheme in needed)
 
 
 # ---------------------------------------------------------------------------
@@ -203,8 +198,22 @@ def _apply_byzantine_network_behaviour(deployment: Deployment) -> None:
 
 
 def build_deployment(scenario: Scenario, batched: bool = True,
-                     seed: int = 0) -> Deployment:
-    """Assemble nodes, channels, crypto and transports for a scenario."""
+                     seed: int = 0,
+                     crypto_schemes: Sequence[str] = ALL_SCHEMES,
+                     global_crypto_schemes: Optional[Sequence[str]] = None,
+                     dealer_cache: Optional[DealerCache] = None) -> Deployment:
+    """Assemble nodes, channels, crypto and transports for a scenario.
+
+    ``crypto_schemes`` limits which threshold schemes the per-cluster domains
+    deal (see :func:`crypto_schemes_for_protocol`); ``global_crypto_schemes``
+    does the same for the multi-hop leader domain (defaults to
+    ``crypto_schemes``).  Dealing goes through the two-tier
+    :class:`~repro.testbed.dealer_cache.DealerCache`, so repeated deployments
+    at the same ``(num_nodes, seed)`` share bit-identical key material
+    without re-dealing.
+    """
+    if global_crypto_schemes is None:
+        global_crypto_schemes = crypto_schemes
     sim = Simulator(seed=seed)
     trace = NetworkTrace()
     adversary = AsyncAdversary(
@@ -212,7 +221,6 @@ def build_deployment(scenario: Scenario, batched: bool = True,
         delay_model=DelayModel(base_jitter_s=scenario.link_jitter_s),
         link_faults=list(scenario.link_faults),
         partitions=list(scenario.partitions))
-    setup_rng = random.Random(seed ^ 0x5EED)
 
     channels: dict[str, WirelessChannel] = {}
     for cluster in scenario.topology.clusters:
@@ -233,11 +241,13 @@ def build_deployment(scenario: Scenario, batched: bool = True,
 
     # --- per-cluster (local) domains -------------------------------------
     for cluster in scenario.topology.clusters:
-        domain_rng = random.Random(stable_seed(seed, "cluster", cluster.index))
-        domain = deal_crypto_domain(cluster.size, domain_rng)
+        domain = deal_crypto_domain(
+            cluster.size, stable_seed(seed, "cluster", cluster.index),
+            schemes=crypto_schemes, cache=dealer_cache)
         channel = channels[cluster.channel_name]
         for local_id, global_id in enumerate(cluster.node_ids):
-            node = NetworkNode(sim, global_id, trace, dma_config=scenario.dma)
+            node = NetworkNode(sim, global_id, trace, cpu=scenario.cpu,
+                               dma_config=scenario.dma)
             mac = CsmaMac(sim, global_id, channel, scenario.csma, trace,
                           random.Random(stable_seed(seed, "mac", global_id)))
             node.add_interface("radio0", mac)
@@ -249,14 +259,15 @@ def build_deployment(scenario: Scenario, batched: bool = True,
                 node_id=local_id,
                 signing_key=domain.signing_keys[local_id],
                 verify_keys=domain.verify_keys,
-                threshold_sig=domain.threshold_sig[local_id],
-                threshold_coin=domain.threshold_coin[local_id],
-                coin_flip=domain.coin_flip[local_id],
-                threshold_enc=domain.threshold_enc[local_id],
+                threshold_sig=domain.node_scheme(SCHEME_THRESHOLD_SIG, local_id),
+                threshold_coin=domain.node_scheme(SCHEME_THRESHOLD_COIN, local_id),
+                coin_flip=domain.node_scheme(SCHEME_COIN_FLIP, local_id),
+                threshold_enc=domain.node_scheme(SCHEME_THRESHOLD_ENC, local_id),
                 ec_curve=scenario.ec_curve,
                 threshold_curve=scenario.threshold_curve,
                 rng=node_rng,
                 cost_sink=node.charge_cpu,
+                cost_scale=scenario.crypto_cost_scale,
             )
             transport = _make_transport(batched, node, cluster.size, suite, trace,
                                         scenario.transport, local_id)
@@ -278,10 +289,11 @@ def build_deployment(scenario: Scenario, batched: bool = True,
 
     # --- global (leader) domain for multi-hop -----------------------------
     if scenario.is_multi_hop and backbone_name is not None:
-        leaders = [select_leader(cluster, epoch=0)
+        leaders = [_epoch_leader(scenario, cluster)
                    for cluster in scenario.topology.clusters]
-        global_rng = random.Random(stable_seed(seed, "global"))
-        global_domain = deal_crypto_domain(len(leaders), global_rng)
+        global_domain = deal_crypto_domain(
+            len(leaders), stable_seed(seed, "global"),
+            schemes=global_crypto_schemes, cache=dealer_cache)
         backbone = channels[backbone_name]
         backbone.hop_counts.update(routing.hop_table_for(leaders))
         for local_id, leader_id in enumerate(leaders):
@@ -294,14 +306,15 @@ def build_deployment(scenario: Scenario, batched: bool = True,
                 node_id=local_id,
                 signing_key=global_domain.signing_keys[local_id],
                 verify_keys=global_domain.verify_keys,
-                threshold_sig=global_domain.threshold_sig[local_id],
-                threshold_coin=global_domain.threshold_coin[local_id],
-                coin_flip=global_domain.coin_flip[local_id],
-                threshold_enc=global_domain.threshold_enc[local_id],
+                threshold_sig=global_domain.node_scheme(SCHEME_THRESHOLD_SIG, local_id),
+                threshold_coin=global_domain.node_scheme(SCHEME_THRESHOLD_COIN, local_id),
+                coin_flip=global_domain.node_scheme(SCHEME_COIN_FLIP, local_id),
+                threshold_enc=global_domain.node_scheme(SCHEME_THRESHOLD_ENC, local_id),
                 ec_curve=scenario.ec_curve,
                 threshold_curve=scenario.threshold_curve,
                 rng=node_rng,
                 cost_sink=node.charge_cpu,
+                cost_scale=scenario.crypto_cost_scale,
             )
             transport_config = scenario.transport if scenario.transport.interface \
                 else TransportConfig(
@@ -327,6 +340,27 @@ def build_deployment(scenario: Scenario, batched: bool = True,
 
     _apply_byzantine_network_behaviour(deployment)
     return deployment
+
+
+def _epoch_leader(scenario: Scenario, cluster: Cluster) -> int:
+    """The cluster leader the deployment wires into the global domain.
+
+    With ``scenario.rotate_crashed_leaders`` set, known fail-stop leaders are
+    rotated out through a :class:`~repro.protocols.multihop.LeaderSchedule`,
+    whose exclusions persist across epochs -- a rotated-out leader is never
+    re-selected (regression-tested in
+    ``tests/testbed/test_leader_rotation.py``).
+    """
+    schedule = LeaderSchedule(cluster)
+    leader = schedule.leader(epoch=0)
+    if not scenario.rotate_crashed_leaders:
+        return leader
+    epoch = 0
+    while scenario.byzantine.assignments.get(leader) == "crash":
+        schedule.exclude(leader)
+        epoch += 1
+        leader = schedule.leader(epoch)
+    return leader
 
 
 # ---------------------------------------------------------------------------
@@ -391,7 +425,9 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
     if scenario.is_multi_hop:
         raise DeploymentError("run_consensus expects a single-hop scenario; "
                               "use run_multihop_consensus instead")
-    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    deployment = build_deployment(
+        scenario, batched=batched, seed=seed,
+        crypto_schemes=crypto_schemes_for_protocol(protocol, config))
     workload = TransactionWorkload(
         workload_spec or WorkloadSpec(batch_size=batch_size,
                                       transaction_bytes=transaction_bytes),
@@ -541,17 +577,21 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
     """
     if not scenario.is_multi_hop:
         raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
-    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    global_config = ConsensusConfig(
+        epoch=("global", (config or ConsensusConfig()).epoch),
+        use_threshold_encryption=False,
+        max_aba_rounds=(config or ConsensusConfig()).max_aba_rounds)
+    deployment = build_deployment(
+        scenario, batched=batched, seed=seed,
+        crypto_schemes=crypto_schemes_for_protocol(protocol, config),
+        global_crypto_schemes=crypto_schemes_for_protocol(protocol,
+                                                          global_config))
     workload = TransactionWorkload(
         workload_spec or WorkloadSpec(batch_size=batch_size,
                                       transaction_bytes=transaction_bytes),
         seed=seed)
     local_protocols = _install_protocols(deployment, protocol,
                                          deployment.runtimes, config)
-    global_config = ConsensusConfig(
-        epoch=("global", (config or ConsensusConfig()).epoch),
-        use_threshold_encryption=False,
-        max_aba_rounds=(config or ConsensusConfig()).max_aba_rounds)
     global_protocols = _install_protocols(deployment, protocol,
                                           deployment.global_runtimes,
                                           global_config)
@@ -588,7 +628,7 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
 
     watchers = []
     for cluster in scenario.topology.clusters:
-        leader_id = select_leader(cluster, epoch=0)
+        leader_id = _epoch_leader(scenario, cluster)
         watchers.append(watch_local(cluster, leader_id))
 
     honest_leaders = [leader for leader in deployment.global_runtimes
@@ -707,7 +747,10 @@ def run_broadcast_experiment(component: str, parallelism: int = 1,
             f"unknown broadcast component {component!r}; "
             f"known: {sorted(_BROADCAST_FACTORIES)}")
     scenario = scenario or Scenario.single_hop(num_nodes)
-    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    schemes = (SCHEME_KEYRING, SCHEME_THRESHOLD_SIG) \
+        if component in ("prbc", "cbc", "cbc-small") else (SCHEME_KEYRING,)
+    deployment = build_deployment(scenario, batched=batched, seed=seed,
+                                  crypto_schemes=schemes)
     factory = _BROADCAST_FACTORIES[component]
     tag = ("bcast", component)
     completions: dict[int, set[int]] = {node_id: set() for node_id in deployment.nodes}
@@ -789,7 +832,11 @@ def run_aba_experiment(kind: str, parallel_instances: int = 1,
     if kind not in ("lc", "sc", "cp"):
         raise DeploymentError(f"unknown ABA kind {kind!r}; expected lc, sc or cp")
     scenario = scenario or Scenario.single_hop(num_nodes)
-    deployment = build_deployment(scenario, batched=batched, seed=seed)
+    schemes = {"lc": (SCHEME_KEYRING,),
+               "sc": (SCHEME_KEYRING, SCHEME_THRESHOLD_COIN),
+               "cp": (SCHEME_KEYRING, SCHEME_COIN_FLIP)}[kind]
+    deployment = build_deployment(scenario, batched=batched, seed=seed,
+                                  crypto_schemes=schemes)
     tag = ("aba-exp", kind)
     serial_mode = serial_instances > 0
     total_instances = serial_instances if serial_mode else parallel_instances

@@ -48,3 +48,33 @@ class TestRadioConfig:
         radio = LORA_SF7_125KHZ
         assert radio.airtime(size + 1) >= radio.airtime(size)
         assert radio.fragments(size) >= 1
+
+
+class TestZeroAndNegativePayloads:
+    """Regression: fragments(0) returned 1 while airtime(0) billed one
+    phantom payload byte; negative sizes were silently accepted."""
+
+    def test_zero_byte_control_frame_is_preamble_only(self):
+        radio = LORA_SF7_125KHZ
+        assert radio.fragments(0) == 1
+        assert radio.airtime(0) == pytest.approx(radio.preamble_s)
+
+    def test_zero_byte_consistency_across_profiles(self):
+        for radio in (LORA_SF7_125KHZ, LORA_FAST, WIFI_LIKE):
+            assert radio.airtime(0) < radio.airtime(1)
+            assert radio.airtime(1) == pytest.approx(
+                radio.preamble_s + 8.0 / radio.bitrate_bps)
+
+    @pytest.mark.parametrize("size", [-1, -100])
+    def test_negative_sizes_rejected(self, size):
+        radio = LORA_SF7_125KHZ
+        with pytest.raises(ValueError):
+            radio.fragments(size)
+        with pytest.raises(ValueError):
+            radio.airtime(size)
+
+    @given(size=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=50, deadline=None)
+    def test_airtime_monotone_from_zero(self, size):
+        radio = LORA_SF7_125KHZ
+        assert radio.airtime(size + 1) > radio.airtime(size)

@@ -98,11 +98,29 @@ class TestInterClusterRouting:
         routing = InterClusterRouting(topology)
         assert routing.cluster_hops(0, 2) == 2
 
-    def test_disconnected_clusters_raise(self):
+    def test_disconnected_clusters_raise_at_construction(self):
+        # A partitioned backbone used to surface only as a late TopologyError
+        # from cluster_hops mid-run; it must now fail at construction, naming
+        # the disconnected components.
         topology = MultiHopTopology([4, 4, 4], cluster_links=[(0, 1)])
+        with pytest.raises(TopologyError) as excinfo:
+            InterClusterRouting(topology)
+        message = str(excinfo.value)
+        assert "disconnected" in message
+        assert "{0, 1}" in message and "{2}" in message
+
+    def test_disconnected_isolated_pairs_name_all_components(self):
+        topology = MultiHopTopology([4] * 4,
+                                    cluster_links=[(0, 1), (2, 3)])
+        with pytest.raises(TopologyError) as excinfo:
+            InterClusterRouting(topology)
+        assert "{0, 1}" in str(excinfo.value)
+        assert "{2, 3}" in str(excinfo.value)
+
+    def test_connected_graph_constructs(self):
+        topology = MultiHopTopology([4, 4, 4], cluster_links=[(0, 1), (1, 2)])
         routing = InterClusterRouting(topology)
-        with pytest.raises(TopologyError):
-            routing.cluster_hops(0, 2)
+        assert routing.cluster_hops(0, 2) == 2
 
     def test_single_hop_topology_rejected(self):
         with pytest.raises(TopologyError):

@@ -1,0 +1,163 @@
+"""Property tests for the crypto-domain dealer cache.
+
+The cache may only ever change wall clock: a cached domain must be
+bit-identical to a freshly dealt one (same shares, same verify keys, same
+signatures over a fixed message), across both tiers, and the key must miss
+when the seed changes.
+"""
+
+import random
+
+import pytest
+
+from repro.testbed.dealer_cache import (
+    ALL_SCHEMES,
+    SCHEME_COIN_FLIP,
+    SCHEME_KEYRING,
+    SCHEME_THRESHOLD_COIN,
+    SCHEME_THRESHOLD_ENC,
+    SCHEME_THRESHOLD_SIG,
+    CryptoDomain,
+    DealerCache,
+    deal_crypto_domain,
+    deal_scheme,
+)
+
+
+def assert_domains_bit_identical(a: CryptoDomain, b: CryptoDomain) -> None:
+    assert a.num_nodes == b.num_nodes and a.faults == b.faults
+    assert [key.secret for key in a.signing_keys] == \
+        [key.secret for key in b.signing_keys]
+    assert [key.public_element for key in a.verify_keys] == \
+        [key.public_element for key in b.verify_keys]
+    for scheme_name in (SCHEME_THRESHOLD_SIG, SCHEME_THRESHOLD_COIN,
+                        SCHEME_COIN_FLIP):
+        left, right = getattr(a, scheme_name), getattr(b, scheme_name)
+        assert (left is None) == (right is None)
+        if left is None:
+            continue
+        assert [s.private_share.secret for s in left] == \
+            [s.private_share.secret for s in right]
+        assert left[0].public_key.share_verify_keys == \
+            right[0].public_key.share_verify_keys
+        assert left[0].public_key.master_verify_key == \
+            right[0].public_key.master_verify_key
+
+
+class TestDeterministicDealing:
+    @pytest.mark.parametrize("num_nodes,seed", [(4, 0), (4, 7), (7, 0),
+                                                (10, 1234), (16, 99)])
+    def test_cached_equals_fresh(self, num_nodes, seed, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        cached = cache.domain(num_nodes, seed)
+        fresh = CryptoDomain(
+            num_nodes=num_nodes, faults=(num_nodes - 1) // 3,
+            signing_keys=list(deal_scheme(SCHEME_KEYRING, num_nodes, seed)[0]),
+            verify_keys=list(deal_scheme(SCHEME_KEYRING, num_nodes, seed)[1]),
+            threshold_sig=deal_scheme(SCHEME_THRESHOLD_SIG, num_nodes, seed),
+            threshold_coin=deal_scheme(SCHEME_THRESHOLD_COIN, num_nodes, seed),
+            coin_flip=deal_scheme(SCHEME_COIN_FLIP, num_nodes, seed),
+            threshold_enc=deal_scheme(SCHEME_THRESHOLD_ENC, num_nodes, seed),
+        )
+        assert_domains_bit_identical(cached, fresh)
+
+    def test_signatures_over_fixed_message_identical(self, tmp_path):
+        message = b"dealer-cache-equivalence"
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        cache = DealerCache(directory=str(tmp_path))
+        cached = cache.domain(4, 42)
+        fresh_sig = deal_scheme(SCHEME_THRESHOLD_SIG, 4, 42)
+        shares_cached = [s.sign_share(message, rng_a)
+                         for s in cached.threshold_sig[:3]]
+        shares_fresh = [s.sign_share(message, rng_b) for s in fresh_sig[:3]]
+        assert [s.value for s in shares_cached] == \
+            [s.value for s in shares_fresh]
+        combined_cached = cached.threshold_sig[0].combine(message, shares_cached)
+        combined_fresh = fresh_sig[0].combine(message, shares_fresh)
+        assert combined_cached.value == combined_fresh.value
+        assert fresh_sig[0].verify_signature(message, combined_cached)
+
+    def test_disk_tier_round_trip_bit_identical(self, tmp_path):
+        writer = DealerCache(directory=str(tmp_path))
+        dealt = writer.domain(7, 17)
+        reader = DealerCache(directory=str(tmp_path))
+        loaded = reader.domain(7, 17)
+        assert reader.hits > 0 and reader.misses == 0
+        assert_domains_bit_identical(dealt, loaded)
+
+    def test_seed_change_misses(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        cache.domain(4, 1)
+        first_misses = cache.misses
+        cache.domain(4, 2)
+        assert cache.misses > first_misses
+        a = cache.domain(4, 1)
+        b = cache.domain(4, 2)
+        assert a.threshold_sig[0].private_share.secret != \
+            b.threshold_sig[0].private_share.secret
+
+    def test_num_nodes_change_misses(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        cache.domain(4, 1)
+        first_misses = cache.misses
+        cache.domain(7, 1)
+        assert cache.misses > first_misses
+
+    def test_process_tier_hit_shares_scheme_objects_not_lists(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        a = cache.domain(4, 3)
+        b = cache.domain(4, 3)
+        # Scheme handles are shared (the cache hit), but each domain gets its
+        # own list so a caller mutation cannot poison the process cache.
+        assert a.threshold_sig is not b.threshold_sig
+        assert all(x is y for x, y in zip(a.threshold_sig, b.threshold_sig))
+        a.threshold_sig[0] = None
+        assert cache.domain(4, 3).threshold_sig[0] is not None
+        assert cache.hits > 0
+
+
+class TestLazySubsets:
+    def test_subset_matches_full_deal(self, tmp_path):
+        """Skipping a scheme never perturbs the keys of the others."""
+        full = DealerCache(directory=str(tmp_path / "a")).domain(4, 11)
+        lazy = DealerCache(directory=str(tmp_path / "b")).domain(
+            4, 11, schemes=(SCHEME_KEYRING, SCHEME_THRESHOLD_SIG,
+                            SCHEME_THRESHOLD_ENC))
+        assert lazy.coin_flip is None and lazy.threshold_coin is None
+        assert [s.private_share.secret for s in lazy.threshold_sig] == \
+            [s.private_share.secret for s in full.threshold_sig]
+        assert [s.private_share.secret for s in lazy.threshold_enc] == \
+            [s.private_share.secret for s in full.threshold_enc]
+
+    def test_node_scheme_tolerates_missing(self, tmp_path):
+        lazy = DealerCache(directory=str(tmp_path)).domain(
+            4, 11, schemes=(SCHEME_KEYRING,))
+        assert lazy.node_scheme(SCHEME_COIN_FLIP, 0) is None
+        assert lazy.node_scheme(SCHEME_THRESHOLD_SIG, 2) is None
+
+    def test_unknown_scheme_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DealerCache(directory=str(tmp_path)).domain(4, 0, schemes=("bogus",))
+        with pytest.raises(ValueError):
+            deal_scheme("bogus", 4, 0)
+
+
+class TestCorruptDiskEntries:
+    def test_corrupt_entry_behaves_like_miss(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        reference = cache.domain(4, 5)
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"not a pickle")
+        fresh_cache = DealerCache(directory=str(tmp_path))
+        recovered = fresh_cache.domain(4, 5)
+        assert fresh_cache.misses == len(ALL_SCHEMES)
+        assert_domains_bit_identical(reference, recovered)
+
+
+class TestHarnessIntegration:
+    def test_deal_crypto_domain_uses_shared_default_cache(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        via_helper = deal_crypto_domain(4, 21, cache=cache)
+        direct = cache.domain(4, 21)
+        assert all(x is y for x, y in zip(via_helper.threshold_sig,
+                                          direct.threshold_sig))
