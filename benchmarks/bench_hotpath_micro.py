@@ -40,6 +40,7 @@ from bench_scale_setup import (  # noqa: E402
     bench_dealer,
     dealer_speedups,
 )
+from bench_streaming import STREAM_EPOCHS, bench_streaming  # noqa: E402
 from repro.components import erasure  # noqa: E402
 from repro.crypto.group import (  # noqa: E402
     DEFAULT_GROUP,
@@ -276,7 +277,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     budget = 0.15 if quick else 1.0
     results: dict[str, float] = {}
     for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
-                    bench_simulator, bench_dealer):
+                    bench_simulator, bench_dealer, bench_streaming):
         results.update(section(budget))
     speedups = dealer_speedups(results)
     speedups |= {
@@ -299,6 +300,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "quick": quick,
         "config": {
             "dealer_num_nodes": DEALER_NUM_NODES,
+            "streaming_epochs": STREAM_EPOCHS,
             "num_parties": NUM_PARTIES,
             "threshold": THRESHOLD,
             "erasure_k": ERASURE_K,

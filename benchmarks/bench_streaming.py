@@ -1,0 +1,108 @@
+"""Wall-clock benchmark of the streaming subsystem: sustained simulated tx/s.
+
+The streaming runner's job is to make long sustained-load studies cheap to
+simulate: one deployment, reused key material, per-epoch tags and
+checkpoint/GC instead of a fresh harness per epoch.  This benchmark measures
+how many *committed transactions per wall-clock second* a saturated
+single-hop HoneyBadger stream pushes through the simulator, plus the
+epoch rate, and merges both into ``BENCH_hotpath.json`` (the ops/sec
+trajectory file) so ``scripts/perf_smoke.py`` can gate regressions of the
+streaming hot path the same way it gates crypto/erasure/simulator paths.
+
+Run directly (merges into the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.testbed.scenarios import Scenario  # noqa: E402
+from repro.testbed.streaming import (  # noqa: E402
+    StreamingSpec,
+    run_streaming_consensus,
+)
+from repro.testbed.workload import ArrivalSpec  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_hotpath.json")
+
+#: epochs per measured stream (short enough for the perf-smoke budget,
+#: long enough that checkpoint/GC and the mempool path dominate setup)
+STREAM_EPOCHS = 8
+STREAM_SEED = 321
+
+
+def _stream_once() -> tuple[int, int]:
+    """One saturated stream; returns (committed transactions, epochs)."""
+    spec = StreamingSpec(
+        epochs=STREAM_EPOCHS, batch_size=4, warmup=64,
+        arrival=ArrivalSpec(rate_tps=2.0, transaction_bytes=32,
+                            max_mempool=1024))
+    result = run_streaming_consensus("honeybadger-sc", Scenario.single_hop(4),
+                                     spec, seed=STREAM_SEED)
+    assert result.decided
+    return result.committed_transactions, result.epochs_completed
+
+
+def bench_streaming(budget: float) -> dict[str, float]:
+    """Committed-tx and epoch rates per wall-clock second."""
+    committed = 0
+    epochs = 0
+    runs = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while elapsed < budget or runs == 0:
+        run_committed, run_epochs = _stream_once()
+        committed += run_committed
+        epochs += run_epochs
+        runs += 1
+        elapsed = time.perf_counter() - start
+    return {
+        "streaming_tx_per_sec": committed / elapsed,
+        "streaming_epochs_per_sec": epochs / elapsed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short timing budgets (noisier, for smoke tests)")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT,
+                        help="BENCH_hotpath.json to merge into")
+    args = parser.parse_args(argv)
+
+    budget = 0.3 if args.quick else 2.0
+    results = bench_streaming(budget)
+
+    document: dict = {}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError:
+            document = {}
+    document.setdefault("results_ops_per_sec", {}).update(
+        {key: round(value, 2) for key, value in results.items()})
+    document.setdefault("config", {})["streaming_epochs"] = STREAM_EPOCHS
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps({"results_ops_per_sec": results}, indent=2,
+                     sort_keys=True))
+    print(f"\nmerged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.expts.report import github_slug  # noqa: E402
 DOCS = [
     "README.md",
     "ARCHITECTURE.md",
+    "GUIDE.md",
     "TESTING.md",
     "PERFORMANCE.md",
     "ROADMAP.md",

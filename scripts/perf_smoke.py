@@ -11,6 +11,12 @@ root, and exits non-zero if
   implementation at k=32; a dealer-cache hit >= 5x a fresh n=64 domain
   deal).
 
+The gated set includes ``streaming_tx_per_sec`` -- the sustained simulated
+transactions the streaming subsystem commits per wall-clock second
+(``benchmarks/bench_streaming.py``) -- so a slowdown of the multi-epoch
+path (mempool, pipelining bookkeeping, checkpoint/GC) fails CI like any
+crypto or simulator hot-path regression.
+
 Usage::
 
     python scripts/perf_smoke.py [--baseline PATH]
@@ -47,6 +53,7 @@ GATED_METRICS = (
     "erasure_decode_k32",
     "sim_events",
     "dealer_domain_cached_n64",
+    "streaming_tx_per_sec",
 )
 MAX_REGRESSION = 2.0
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.core.batcher import BaseTransport
-from repro.core.packet import ComponentMessage
+from repro.core.packet import ComponentMessage, tag_in_scope, tag_scope_chain
 from repro.crypto.timing import CryptoSuite
 from repro.net.sim import Simulator
 
@@ -123,6 +123,9 @@ class ComponentRouter:
         self._components: dict[tuple, Component] = {}
         self._pending: dict[tuple, list[ComponentMessage]] = defaultdict(list)
         self._extra_handlers: dict[tuple, Callable[[ComponentMessage], None]] = {}
+        #: scope roots reclaimed by release_tag; late messages for them are
+        #: dropped instead of buffered (one tiny tuple per released epoch)
+        self._released: set = set()
 
     @staticmethod
     def _key(kind: str, tag: Any, instance: int) -> tuple:
@@ -161,6 +164,11 @@ class ComponentRouter:
         key = self._key(message.kind, message.tag, message.instance)
         component = self._components.get(key)
         if component is None:
+            # A message for a released (checkpointed) scope is stale by
+            # definition -- drop it instead of buffering it forever.
+            if self._released and any(root in self._released
+                                      for root in tag_scope_chain(message.tag)):
+                return
             self._pending[key].append(message)
             return
         component.handle(message)
@@ -168,3 +176,30 @@ class ComponentRouter:
     def pending_count(self) -> int:
         """Number of buffered messages waiting for their instance."""
         return sum(len(messages) for messages in self._pending.values())
+
+    # ------------------------------------------------------------ epoch GC
+    def release_tag(self, root: Any) -> int:
+        """Drop every component, kind handler and buffered message whose tag
+        falls in the scope of ``root`` (see
+        :func:`repro.core.packet.tag_in_scope`).
+
+        Called by the streaming testbed after an epoch checkpoint: once every
+        honest node has decided epoch ``e``, nothing will ever dispatch to
+        its components again, so holding them would grow node memory
+        O(history) instead of O(backlog).  The root is remembered so that
+        messages still in flight at checkpoint time are *dropped* on arrival
+        rather than re-buffered into ``_pending`` (the remembered roots cost
+        one small tuple per released epoch).  Returns the number of dropped
+        components (for GC-bound assertions in tests).
+        """
+        self._released.add(root)
+        stale = [key for key in self._components if tag_in_scope(key[1], root)]
+        for key in stale:
+            del self._components[key]
+        for key in [key for key in self._pending
+                    if tag_in_scope(key[1], root)]:
+            del self._pending[key]
+        for key in [key for key in self._extra_handlers
+                    if tag_in_scope(key[1], root)]:
+            del self._extra_handlers[key]
+        return len(stale)

@@ -34,7 +34,14 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING
 
-from repro.core.packet import ComponentMessage, Packet, PacketSizer, SizeProfile
+from repro.core.packet import (
+    ComponentMessage,
+    Packet,
+    PacketSizer,
+    SizeProfile,
+    tag_in_scope,
+    tag_scope_chain,
+)
 from repro.crypto.timing import CryptoSuite
 from repro.net.reliability import ReliabilityMode
 from repro.net.sim import PeriodicTimer
@@ -109,6 +116,9 @@ class BaseTransport:
         self._complete: set[tuple] = set()
         self._latest: dict[tuple, ComponentMessage] = {}
         self._family_last_rx: dict[tuple, float] = {}
+        #: scope roots reclaimed by release_tag (late-arrival bookkeeping of
+        #: a released scope is skipped instead of re-created)
+        self._released_tags: set = set()
         self._last_rx_time = 0.0
         self._packets_received = 0
         self.nack_requests_sent = 0
@@ -148,6 +158,27 @@ class BaseTransport:
         """Stop background timers (end of run)."""
         self._resend_timer.stop()
 
+    def release_tag(self, root: Any) -> None:
+        """Forget all per-slot state whose tag is in the scope of ``root``.
+
+        Epoch GC for long (streaming) runs: retired slots would otherwise
+        accumulate in ``_active`` / ``_complete`` / ``_latest`` forever.  Must
+        only be called once the whole domain has finished the scope -- a peer
+        can no longer NACK-request state that was released here.  The root is
+        remembered (one small tuple per released epoch) so frames still in
+        flight at release time cannot re-create per-family bookkeeping.
+        """
+        self._released_tags.add(root)
+        for slots in (self._active, self._complete):
+            for key in [key for key in slots if tag_in_scope(key[1], root)]:
+                slots.discard(key)
+        for key in [key for key in self._latest
+                    if tag_in_scope(key[1], root)]:
+            del self._latest[key]
+        for family in [family for family in self._family_last_rx
+                       if tag_in_scope(family[1], root)]:
+            del self._family_last_rx[family]
+
     # ------------------------------------------------------------------- send
     def send(self, message: ComponentMessage) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -172,7 +203,11 @@ class BaseTransport:
             if message.kind == self.NACK_KIND:
                 self._on_nack_request(message)
                 continue
-            self._family_last_rx[(message.kind, message.tag)] = self.node.sim.now
+            if not self._released_tags or not any(
+                    root in self._released_tags
+                    for root in tag_scope_chain(message.tag)):
+                self._family_last_rx[(message.kind, message.tag)] = \
+                    self.node.sim.now
             self.trace.record_logical_receive(self.node.node_id)
             if self._receiver is not None:
                 self._receiver(message)
@@ -370,9 +405,11 @@ class ConsensusBatcherTransport(BaseTransport):
     def _build_packet(self, group: tuple) -> Optional[tuple[Packet, int]]:
         """Frame builder: called by the MAC right before transmission."""
         self._queued_groups.discard(group)
-        dirty = self._dirty.get(group, set())
+        # pop rather than reset-in-place: a group released by epoch GC while
+        # its frame was queued must not be re-created as an empty entry
+        # (later sends setdefault the key back for live groups)
+        dirty = self._dirty.pop(group, set())
         messages = self._collect(group, dirty)
-        self._dirty[group] = set()
         if not messages:
             return None
         packet = self._make_packet(group, messages)
@@ -389,6 +426,19 @@ class ConsensusBatcherTransport(BaseTransport):
         return packet
 
     # ----------------------------------------------------------- housekeeping
+    def release_tag(self, root: Any) -> None:
+        """Epoch GC: also drop the batching slots of the released scope."""
+        super().release_tag(root)
+        stale_groups = [group for group in self._groups
+                        if tag_in_scope(group[1], root)]
+        for group in stale_groups:
+            del self._groups[group]
+            self._dirty.pop(group, None)
+            # A queued-but-unsent frame for the group materialises empty (its
+            # slots are gone and _collect filters inactive instances), so the
+            # deferred builder is harmless; just forget the queued marker.
+            self._queued_groups.discard(group)
+
     def retire_rounds_before(self, kind: str, tag: Any, instance: int,
                              round_number: int) -> None:
         """Drop slots of earlier ABA rounds once an instance has advanced."""

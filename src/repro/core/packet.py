@@ -23,6 +23,33 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 
+def tag_scope_chain(tag: Any) -> list:
+    """The scope roots ``tag`` belongs to: itself, then each unwrapping of
+    its first element (``((root, "aba"), slot)`` -> that tag, ``(root,
+    "aba")``, ``root``, ...).  Lets released-scope membership be tested in
+    O(nesting depth) set lookups instead of scanning every released root.
+    """
+    chain = [tag]
+    while isinstance(tag, tuple) and tag:
+        tag = tag[0]
+        chain.append(tag)
+    return chain
+
+
+def tag_in_scope(tag: Any, root: Any) -> bool:
+    """Whether ``tag`` belongs to the protocol scope rooted at ``root``.
+
+    Protocol epochs own a *root* tag (HoneyBadger's ``("hb", epoch)``); some
+    protocols derive nested sub-tags from it by wrapping it as the first
+    element of a tuple (Dumbo's ``(root, "value")`` CBC set, its per-slot coin
+    tags ``(root, "aba", slot)``).  Epoch garbage collection in the streaming
+    testbed must reclaim the whole scope, so scope membership recurses
+    through the first element: ``tag == root`` or ``tag[0]`` is
+    (transitively) in scope.
+    """
+    return root in tag_scope_chain(tag)
+
+
 #: phases whose payload is a full proposal (potentially spanning packets)
 PROPOSAL_PHASES = frozenset({"initial"})
 #: phases that carry a threshold signature share (or combined signature)

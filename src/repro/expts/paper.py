@@ -943,3 +943,10 @@ IMPROVEMENT = register(ExperimentSpec(
               "topology": "single-hop N=4",
               "workload": "uniform, batch=6 x 48 B", "seed": str(FIG13A_SEED)},
 ))
+
+
+# ---------------------------------------------------------------------------
+# Sustained-load family -- registered last so RESULTS.md keeps paper order
+# ---------------------------------------------------------------------------
+
+import repro.expts.load  # noqa: E402,F401  (registers load-sweep / streaming-pipeline)

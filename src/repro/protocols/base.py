@@ -157,6 +157,45 @@ class ConsensusProtocol:
         """
         return False
 
+    # ------------------------------------------------------------ pipelining
+    @property
+    def pipeline_ready(self) -> bool:
+        """Whether the *next* epoch may safely start disseminating.
+
+        Streaming pipelining must not be able to change this epoch's decided
+        block: the next epoch's radio traffic perturbs message timing on the
+        shared channel, so this property must only turn True once the
+        instance's remaining work is **content-deterministic** (timing can
+        still move the decide time, never the decided bytes).  The base
+        implementation is maximally conservative -- ready only once decided.
+        HoneyBadger-style protocols override it to signal readiness when the
+        common subset is locked (all ABAs decided), which is what lets epoch
+        ``e + 1``'s RBC dissemination overlap epoch ``e``'s threshold
+        decryption.
+        """
+        return self.decided
+
+    # ------------------------------------------------------------- epoch GC
+    def release(self) -> None:
+        """Reclaim every per-epoch resource this instance allocated.
+
+        Drops the instance's components, kind handlers and buffered messages
+        from the router and its batching/reliability slots from the
+        transport, keyed by the protocol's root ``tag`` (nested sub-tags such
+        as Dumbo's CBC sets are covered via
+        :func:`repro.core.packet.tag_in_scope`).  The streaming testbed calls
+        this once *every* honest node of the domain has decided the epoch --
+        after that point no peer can legitimately NACK-request the epoch's
+        state, so memory stays O(pipeline window), not O(epochs run).
+        The instance itself keeps its decision fields (``decided``, ``block``,
+        ``decide_time``) so late metric reads stay valid.
+        """
+        tag = getattr(self, "tag", None)
+        if tag is None:
+            return
+        self.router.release_tag(tag)
+        self.ctx.transport.release_tag(tag)
+
     # -------------------------------------------------------- invariant hooks
     def witness(self) -> InvariantWitness:
         """This node's decision evidence for the conformance checkers."""

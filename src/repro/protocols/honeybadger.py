@@ -121,6 +121,19 @@ class HoneyBadger(ConsensusProtocol):
         self.ctx.transport.send(message)
         return True
 
+    # ------------------------------------------------------------ pipelining
+    @property
+    def pipeline_ready(self) -> bool:
+        """Ready for the next epoch once this node's common subset is locked.
+
+        After ``_on_acs_output`` the decided block is a pure function of the
+        locked subset and the dealt keys (any ``f + 1`` honest decryption
+        shares interpolate to the same plaintext), so later radio traffic can
+        delay the decision but never change its bytes -- the condition the
+        streaming pipeline's safety rests on.
+        """
+        return self.decided or self._acs_output is not None
+
     # ------------------------------------------------------------- ACS output
     def _on_acs_output(self, output: dict[int, bytes]) -> None:
         self._acs_output = output

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.net.topology import Cluster
 from repro.protocols.base import block_digest, decode_batch, encode_batch
@@ -75,6 +75,34 @@ class LeaderSchedule:
         """The epoch's leader, never one of the excluded nodes."""
         return select_leader(self.cluster, epoch,
                              excluded=frozenset(self._excluded))
+
+    def active_leader(self, epoch: int = 0,
+                      crashed: Callable[[int], bool] = lambda _node: False,
+                      rotate: bool = True) -> int:
+        """The leader actually wired into the global domain for ``epoch``.
+
+        This is the *single owner* of the detect-and-replace discipline: when
+        ``rotate`` is set and the selected leader is a known fail-stop node
+        (``crashed(leader)`` is true), it is permanently excluded and the
+        selection advances to the next epoch's candidate, repeating until an
+        eligible leader is found.  Exclusions persist on the schedule, so a
+        rotated-out leader is never re-selected by any later epoch of the
+        same schedule -- the harness and the streaming runner both consult
+        one schedule per cluster (held on the deployment) instead of
+        re-deriving leaders ad hoc.
+
+        With ``rotate`` unset the raw ``epoch`` selection is returned even if
+        crashed (fault models like quorum-loss deliberately crash the
+        epoch-0 leaders to prove the global domain stalls).
+        """
+        leader = self.leader(epoch)
+        if not rotate:
+            return leader
+        while crashed(leader):
+            self.exclude(leader)
+            epoch += 1
+            leader = self.leader(epoch)
+        return leader
 
 
 def encode_cluster_contribution(cluster_index: int, block: list[bytes]) -> bytes:

@@ -10,6 +10,9 @@ consensus components and the consensus protocols into runnable experiments:
   nodes per cluster;
 * :mod:`~repro.testbed.harness`   -- builds deployments and runs consensus,
   broadcast-component and ABA experiments, batched or baseline;
+* :mod:`~repro.testbed.streaming` -- the sustained-load subsystem: E
+  back-to-back epochs, open-loop arrivals, mempools, epoch pipelining and
+  checkpoint/GC;
 * :mod:`~repro.testbed.metrics`   -- latency / throughput (TPM) / overhead
   metrics extracted from runs;
 * :mod:`~repro.testbed.invariants` -- safety/liveness conformance checking
@@ -31,6 +34,13 @@ from repro.testbed.harness import (
     run_broadcast_experiment,
     run_aba_experiment,
 )
+from repro.testbed.streaming import (
+    Mempool,
+    StreamingSpec,
+    run_streaming_consensus,
+)
+from repro.testbed.workload import ArrivalSpec, OpenLoopArrivals
+from repro.testbed.metrics import StreamingRunResult
 from repro.testbed.invariants import InvariantVerdict, RunObserver, check_all
 from repro.testbed.campaign import (
     FAULT_MODELS,
@@ -56,6 +66,12 @@ __all__ = [
     "run_multihop_consensus",
     "run_broadcast_experiment",
     "run_aba_experiment",
+    "run_streaming_consensus",
+    "StreamingSpec",
+    "StreamingRunResult",
+    "Mempool",
+    "ArrivalSpec",
+    "OpenLoopArrivals",
     "InvariantVerdict",
     "RunObserver",
     "check_all",

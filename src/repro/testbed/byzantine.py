@@ -6,6 +6,9 @@ allows without modifying the honest protocol code:
 
 * ``crash``    -- the node is silent from the start (fail-stop);
 * ``late-crash`` -- the node participates for a while, then goes silent;
+* ``epoch-crash`` -- streaming runs only: the node participates honestly
+  until the stream reaches ``crash_at_epoch``, then goes silent (crash *at
+  epoch k*, the mid-stream fail-stop model of the streaming campaign cells);
 * ``mute-proposer`` -- the node never proposes but otherwise follows the
   protocol (its RBC instance never completes, so ACS must exclude it);
 * ``garbage-proposer`` -- the node proposes an undecodable payload (honest
@@ -27,6 +30,7 @@ from typing import Optional
 BYZANTINE_STRATEGIES = (
     "crash",
     "late-crash",
+    "epoch-crash",
     "mute-proposer",
     "garbage-proposer",
     "equivocating-proposer",
@@ -51,6 +55,9 @@ class ByzantineSpec:
     slow_link_delay_s: float = 8.0
     #: virtual time at which ``late-crash`` nodes go silent
     late_crash_at_s: float = 20.0
+    #: streaming epoch index at which ``epoch-crash`` nodes go silent (the
+    #: crash fires just before the node would propose for that epoch)
+    crash_at_epoch: int = 2
     #: per-delivery drop probability of the ``lossy-links`` strategy
     lossy_drop_rate: float = 0.08
     #: per-delivery duplication probability of the ``lossy-links`` strategy
@@ -64,6 +71,9 @@ class ByzantineSpec:
                 raise ValueError(
                     f"unknown Byzantine strategy {strategy!r} for node {node_id}; "
                     f"known: {BYZANTINE_STRATEGIES}")
+        if self.crash_at_epoch < 0:
+            raise ValueError(
+                f"crash_at_epoch must be >= 0, got {self.crash_at_epoch}")
 
     @classmethod
     def none(cls) -> "ByzantineSpec":

@@ -6,8 +6,10 @@ sweep over
 
 ``{protocol} x {topology} x {fault model} x {workload flavor} x {seed}``
 
-where every cell runs one full consensus epoch through the harness entry
-points and is judged against the protocols' safety/liveness contract
+where every cell runs one full consensus epoch -- or, for streaming cells
+(``CampaignCell.stream_epochs`` > 0), a multi-epoch stream with mid-stream
+faults -- through the harness entry points and is judged against the
+protocols' safety/liveness contract
 (:mod:`repro.testbed.invariants`): agreement, total order, validity, and the
 fault model's decision expectation (liveness, or *non*-decision under quorum
 loss).
@@ -40,7 +42,8 @@ from repro.testbed.harness import (
 )
 from repro.testbed.invariants import InvariantVerdict, RunObserver, check_all
 from repro.testbed.scenarios import Scenario
-from repro.testbed.workload import WorkloadSpec
+from repro.testbed.streaming import StreamingSpec, run_streaming_consensus
+from repro.testbed.workload import ArrivalSpec, WorkloadSpec
 
 #: protocols swept by the default campaigns (one per family)
 CAMPAIGN_PROTOCOLS = ("honeybadger-sc", "beat", "dumbo-sc")
@@ -190,6 +193,12 @@ def _fault_partition_heal(scenario: Scenario) -> Scenario:
     return scenario.with_partition(PartitionSpec(groups=groups, heal_s=25.0))
 
 
+def _fault_stream_crash_epoch(scenario: Scenario) -> Scenario:
+    """f nodes per domain crash *at epoch 2* of a streaming run (they
+    participate honestly in earlier epochs).  Streaming cells only."""
+    return _assign(scenario, "epoch-crash", crash_at_epoch=2)
+
+
 def _fault_quorum_loss(scenario: Scenario) -> Scenario:
     if scenario.is_multi_hop:
         # Crash f_global + 1 leaders: clusters still decide locally, but the
@@ -219,6 +228,9 @@ class FaultModel:
     affected_domains_multihop: Optional[frozenset] = None
     #: virtual-time budget multiplier (partitions and loss need slack)
     timeout_scale: float = 1.0
+    #: True for models that only make sense on streaming cells (their fault
+    #: fires at an epoch index); excluded from the one-epoch default matrix
+    streaming_only: bool = False
 
     def affected_domains(self, multi_hop: bool) -> Optional[set]:
         """Domains scoped by the non-decision expectation for this topology."""
@@ -247,6 +259,10 @@ FAULT_MODELS: dict[str, FaultModel] = {
         FaultModel("quorum-loss", "f+1 crashes: liveness must fail, safety hold",
                    _fault_quorum_loss, expect_decision=False,
                    affected_domains_multihop=frozenset({"global"})),
+        FaultModel("stream-crash-epoch",
+                   "f nodes per domain go fail-stop at epoch 2 of a stream",
+                   _fault_stream_crash_epoch, timeout_scale=1.5,
+                   streaming_only=True),
     )
 }
 
@@ -257,24 +273,40 @@ FAULT_MODELS: dict[str, FaultModel] = {
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One fully specified campaign run."""
+    """One fully specified campaign run.
+
+    ``stream_epochs`` = 0 runs the classic single-epoch cell through
+    ``run_consensus`` / ``run_multihop_consensus``; > 0 runs a streaming
+    cell of that many epochs through ``run_streaming_consensus`` (open-loop
+    arrivals, per-epoch invariant domains), which is how mid-stream faults
+    -- a crash at epoch k, a partition healing across epochs -- are put
+    under conformance checking.
+    """
 
     protocol: str
     topology: TopologySpec
     fault: str
     flavor: str = "uniform"
     seed: int = 0
+    stream_epochs: int = 0
 
     def __post_init__(self) -> None:
         if self.fault not in FAULT_MODELS:
             raise ValueError(f"unknown fault model {self.fault!r}; "
                              f"known: {sorted(FAULT_MODELS)}")
+        if self.stream_epochs < 0:
+            raise ValueError(
+                f"stream_epochs must be >= 0, got {self.stream_epochs}")
+        if FAULT_MODELS[self.fault].streaming_only and not self.stream_epochs:
+            raise ValueError(f"fault model {self.fault!r} is streaming-only; "
+                             f"set stream_epochs > 0")
 
     @property
     def cell_id(self) -> str:
         """Stable human-readable identifier (also the replay key)."""
+        stream = f"|stream{self.stream_epochs}" if self.stream_epochs else ""
         return (f"{self.protocol}|{self.topology.label}|{self.fault}"
-                f"|{self.flavor}|s{self.seed}")
+                f"|{self.flavor}|s{self.seed}{stream}")
 
 
 @dataclass
@@ -328,7 +360,9 @@ class CampaignSpec:
 
     protocols: tuple[str, ...] = CAMPAIGN_PROTOCOLS
     topologies: tuple[TopologySpec, ...] = (TopologySpec.single(4),)
-    faults: tuple[str, ...] = tuple(FAULT_MODELS)
+    faults: tuple[str, ...] = tuple(
+        name for name, model in FAULT_MODELS.items()
+        if not model.streaming_only)
     flavors: tuple[str, ...] = ("uniform",)
     seeds: tuple[int, ...] = (0,)
     base_seed: int = 0
@@ -360,25 +394,41 @@ SCALE_QUICK_CELLS = (
     ("dumbo-sc", TopologySpec.single(31, profile="scale"), "garbage"),
 )
 
+#: streaming quick cells: mid-stream faults (a crash at epoch 2, a partition
+#: healing across epochs) plus fault-free single- and multi-hop streams,
+#: each judged per epoch by the invariant checkers
+STREAMING_QUICK_CELLS = (
+    ("honeybadger-sc", TopologySpec.single(4), "stream-crash-epoch",
+     "uniform", 4),
+    ("beat", TopologySpec.single(4), "partition-heal", "telemetry", 4),
+    ("dumbo-sc", TopologySpec.single(4), "none", "task-allocation", 3),
+    ("honeybadger-sc", TopologySpec.multi(4, 4), "none", "uniform", 2),
+)
+
 
 def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     """The bounded default matrix.
 
-    Quick mode: 3 protocols x 9 fault models x {single-hop n=4, multi-hop
-    4x4} with workload flavors cycled across cells -- 54 cells, every fault
-    model exercised on both topologies by every protocol family -- plus the
-    four large-n cells of :data:`SCALE_QUICK_CELLS` on the gateway-class
-    scale profile.  Full mode adds larger single-hop deployments (n=7,
-    n=10) and a second seed per cell at uniform flavor on the fault models
-    that scale with n, and a large-n sweep (scale profile, n=64 single-hop
-    and 8x8 / 16x4 clustered) over the start-state fault models.
+    Quick mode: 3 protocols x 9 one-epoch fault models x {single-hop n=4,
+    multi-hop 4x4} with workload flavors cycled across cells -- 54 cells,
+    every fault model exercised on both topologies by every protocol family
+    -- plus the four large-n cells of :data:`SCALE_QUICK_CELLS` on the
+    gateway-class scale profile and the four multi-epoch cells of
+    :data:`STREAMING_QUICK_CELLS` (mid-stream crash, healing partition
+    spanning epochs, fault-free single-/multi-hop streams).  Full mode adds
+    larger single-hop deployments (n=7, n=10) and a second seed per cell at
+    uniform flavor on the fault models that scale with n, and a large-n
+    sweep (scale profile, n=64 single-hop and 8x8 / 16x4 clustered) over
+    the start-state fault models.
     """
     topologies = [TopologySpec.single(4), TopologySpec.multi(4, 4)]
     cells: list[CampaignCell] = []
     index = 0
     for protocol in CAMPAIGN_PROTOCOLS:
         for topology in topologies:
-            for fault in FAULT_MODELS:
+            for fault, model in FAULT_MODELS.items():
+                if model.streaming_only:
+                    continue
                 flavor = CAMPAIGN_FLAVORS[index % len(CAMPAIGN_FLAVORS)]
                 cells.append(CampaignCell(
                     protocol=protocol, topology=topology, fault=fault,
@@ -392,6 +442,12 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
             flavor="uniform",
             seed=stable_seed(base_seed, protocol, topology.label, fault,
                              "uniform", 0)))
+    for protocol, topology, fault, flavor, epochs in STREAMING_QUICK_CELLS:
+        cells.append(CampaignCell(
+            protocol=protocol, topology=topology, fault=fault, flavor=flavor,
+            stream_epochs=epochs,
+            seed=stable_seed(base_seed, protocol, topology.label, fault,
+                             flavor, "stream", epochs)))
     if not quick:
         extra = CampaignSpec(
             topologies=(TopologySpec.single(7), TopologySpec.single(10)),
@@ -419,6 +475,11 @@ QUICK_TIMEOUT_S = 600.0
 NO_DECISION_TIMEOUT_S = 90.0
 QUICK_WORKLOAD = dict(batch_size=3, transaction_bytes=48)
 FULL_WORKLOAD = dict(batch_size=8, transaction_bytes=64)
+#: open-loop offered load of streaming cells (tx/s of virtual time, whole
+#: network) -- saturating for the paper profile, so mid-stream faults hit a
+#: backlogged system
+STREAM_RATE_TPS = 1.0
+STREAM_MEMPOOL = 256
 
 
 def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
@@ -447,24 +508,44 @@ def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
 
 
 def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
-    """Run one campaign cell and judge it against the conformance suite."""
+    """Run one campaign cell and judge it against the conformance suite.
+
+    Streaming cells (``cell.stream_epochs`` > 0) run the whole multi-epoch
+    stream through ``run_streaming_consensus``; the observer then carries
+    one decision domain per epoch, so agreement/total-order/validity are
+    checked epoch by epoch and ``latency_s`` reports the stream duration.
+    """
     fault = FAULT_MODELS[cell.fault]
     scenario = build_cell_scenario(cell, quick=quick)
     sizes = QUICK_WORKLOAD if quick else FULL_WORKLOAD
-    workload_spec = WorkloadSpec(flavor=cell.flavor, **sizes)
     observer = RunObserver()
-    if cell.topology.is_multi_hop:
-        result = run_multihop_consensus(cell.protocol, scenario,
-                                        seed=cell.seed,
-                                        workload_spec=workload_spec,
-                                        observer=observer)
+    if cell.stream_epochs:
+        stream = StreamingSpec(
+            epochs=cell.stream_epochs, batch_size=sizes["batch_size"],
+            arrival=ArrivalSpec(rate_tps=STREAM_RATE_TPS,
+                                transaction_bytes=sizes["transaction_bytes"],
+                                flavor=cell.flavor,
+                                max_mempool=STREAM_MEMPOOL))
+        result = run_streaming_consensus(cell.protocol, scenario, stream,
+                                         seed=cell.seed, observer=observer)
+        latency: Optional[float] = result.duration_s
+        digest = result.ledger_digest
     else:
-        result = run_consensus(cell.protocol, scenario, seed=cell.seed,
-                               workload_spec=workload_spec, observer=observer)
+        workload_spec = WorkloadSpec(flavor=cell.flavor, **sizes)
+        if cell.topology.is_multi_hop:
+            result = run_multihop_consensus(cell.protocol, scenario,
+                                            seed=cell.seed,
+                                            workload_spec=workload_spec,
+                                            observer=observer)
+        else:
+            result = run_consensus(cell.protocol, scenario, seed=cell.seed,
+                                   workload_spec=workload_spec,
+                                   observer=observer)
+        latency = result.latency_s
+        digest = result.block_digest
     verdicts = check_all(
         observer, result.decided, fault.expect_decision, scenario.timeout_s,
         affected_domains=fault.affected_domains(cell.topology.is_multi_hop))
-    latency: Optional[float] = result.latency_s
     if latency != latency:  # NaN (timed-out run): keep JSON clean
         latency = None
     return CellOutcome(
@@ -474,7 +555,7 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
         decided=result.decided, ok=all(verdict.ok for verdict in verdicts),
         latency_s=latency,
         committed_transactions=result.committed_transactions,
-        block_digest=result.block_digest,
+        block_digest=digest,
         bytes_sent=result.bytes_sent,
         channel_accesses=result.channel_accesses,
         collisions=result.collisions,

@@ -14,7 +14,14 @@ goes through these entry points:
 * :func:`run_broadcast_experiment` -- N parallel broadcast-component instances
   (Fig. 11a/11b);
 * :func:`run_aba_experiment`       -- parallel or serial ABA instances
-  (Fig. 12a/12b).
+  (Fig. 12a/12b);
+* :func:`repro.testbed.streaming.run_streaming_consensus` -- E back-to-back
+  epochs under an open-loop arrival process (sustained load).
+
+The single-epoch machinery (:func:`install_epoch_protocols`,
+:func:`propose_epoch`) is shared between the one-epoch entry points and the
+streaming runner, which replays it once per epoch on one long-lived
+deployment.
 """
 
 from __future__ import annotations
@@ -150,6 +157,13 @@ class Deployment:
     runtimes: dict[int, DomainRuntime]
     #: multi-hop only: per leader node id, the runtime of the global domain
     global_runtimes: dict[int, DomainRuntime] = field(default_factory=dict)
+    #: multi-hop only: per cluster index, the leader-rotation schedule.  The
+    #: deployment is the single owner of rotation state: exclusions persist
+    #: here for the deployment's whole life (one epoch or a streaming run).
+    leader_schedules: dict[int, LeaderSchedule] = field(default_factory=dict)
+    #: multi-hop only: per cluster index, the leader wired into the global
+    #: domain (the ``active_leader`` of the cluster's schedule)
+    epoch_leaders: dict[int, int] = field(default_factory=dict)
     batched: bool = True
 
     def honest_ids(self) -> list[int]:
@@ -289,7 +303,15 @@ def build_deployment(scenario: Scenario, batched: bool = True,
 
     # --- global (leader) domain for multi-hop -----------------------------
     if scenario.is_multi_hop and backbone_name is not None:
-        leaders = [_epoch_leader(scenario, cluster)
+        crashed = lambda node_id: \
+            scenario.byzantine.assignments.get(node_id) == "crash"
+        for cluster in scenario.topology.clusters:
+            schedule = LeaderSchedule(cluster)
+            deployment.leader_schedules[cluster.index] = schedule
+            deployment.epoch_leaders[cluster.index] = schedule.active_leader(
+                epoch=0, crashed=crashed,
+                rotate=scenario.rotate_crashed_leaders)
+        leaders = [deployment.epoch_leaders[cluster.index]
                    for cluster in scenario.topology.clusters]
         global_domain = deal_crypto_domain(
             len(leaders), stable_seed(seed, "global"),
@@ -343,24 +365,22 @@ def build_deployment(scenario: Scenario, batched: bool = True,
 
 
 def _epoch_leader(scenario: Scenario, cluster: Cluster) -> int:
-    """The cluster leader the deployment wires into the global domain.
+    """The leader a *fresh* deployment of ``scenario`` would wire for
+    ``cluster`` (a stateless convenience for tests and planning code).
 
-    With ``scenario.rotate_crashed_leaders`` set, known fail-stop leaders are
-    rotated out through a :class:`~repro.protocols.multihop.LeaderSchedule`,
-    whose exclusions persist across epochs -- a rotated-out leader is never
-    re-selected (regression-tested in
-    ``tests/testbed/test_leader_rotation.py``).
+    The rotation discipline itself lives in
+    :meth:`repro.protocols.multihop.LeaderSchedule.active_leader`; deployments
+    own one schedule per cluster (``Deployment.leader_schedules``) so
+    exclusions persist for the deployment's whole life -- a rotated-out
+    leader is never re-selected in any later epoch (regression-tested in
+    ``tests/testbed/test_leader_rotation.py``).  Callers holding a deployment
+    should read ``deployment.epoch_leaders`` instead of calling this.
     """
-    schedule = LeaderSchedule(cluster)
-    leader = schedule.leader(epoch=0)
-    if not scenario.rotate_crashed_leaders:
-        return leader
-    epoch = 0
-    while scenario.byzantine.assignments.get(leader) == "crash":
-        schedule.exclude(leader)
-        epoch += 1
-        leader = schedule.leader(epoch)
-    return leader
+    return LeaderSchedule(cluster).active_leader(
+        epoch=0,
+        crashed=lambda node_id:
+            scenario.byzantine.assignments.get(node_id) == "crash",
+        rotate=scenario.rotate_crashed_leaders)
 
 
 # ---------------------------------------------------------------------------
@@ -379,6 +399,19 @@ def make_protocol(name: str, runtime: DomainRuntime,
     if family == "beat":
         return Beat(runtime.ctx, runtime.router, config=config)
     return Dumbo(runtime.ctx, runtime.router, coin=coin, config=config)
+
+
+def _reject_streaming_only_strategies(scenario: Scenario) -> None:
+    """Fail loudly when a one-epoch entry point gets a streaming-only fault.
+
+    ``epoch-crash`` fires at a stream epoch index; in a single-epoch run it
+    would never fire and the cell would be vacuously green -- the same
+    failure mode :func:`_inject_equivocation` guards against.
+    """
+    if scenario.byzantine.nodes_with("epoch-crash"):
+        raise DeploymentError(
+            "the epoch-crash strategy fires at a stream epoch index and "
+            "never triggers in a one-epoch run; use run_streaming_consensus")
 
 
 # ---------------------------------------------------------------------------
@@ -425,6 +458,7 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
     if scenario.is_multi_hop:
         raise DeploymentError("run_consensus expects a single-hop scenario; "
                               "use run_multihop_consensus instead")
+    _reject_streaming_only_strategies(scenario)
     deployment = build_deployment(
         scenario, batched=batched, seed=seed,
         crypto_schemes=crypto_schemes_for_protocol(protocol, config))
@@ -432,9 +466,9 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
         workload_spec or WorkloadSpec(batch_size=batch_size,
                                       transaction_bytes=transaction_bytes),
         seed=seed)
-    protocols = _install_protocols(deployment, protocol, deployment.runtimes,
-                                   config)
-    _propose_all(deployment, deployment.runtimes, workload, observer=observer)
+    protocols = install_epoch_protocols(deployment, protocol,
+                                        deployment.runtimes, config)
+    propose_epoch(deployment, deployment.runtimes, workload, observer=observer)
 
     honest = deployment.honest_ids()
     decided = deployment.sim.run_until(
@@ -446,9 +480,16 @@ def run_consensus(protocol: str, scenario: Scenario, batch_size: int = 8,
                              batched, seed, observer=observer)
 
 
-def _install_protocols(deployment: Deployment, protocol: str,
-                       runtimes: dict[int, DomainRuntime],
-                       config: Optional[ConsensusConfig]) -> dict[int, ConsensusProtocol]:
+def install_epoch_protocols(deployment: Deployment, protocol: str,
+                            runtimes: dict[int, DomainRuntime],
+                            config: Optional[ConsensusConfig]) -> dict[int, ConsensusProtocol]:
+    """Instantiate one protocol instance per runtime for one epoch.
+
+    The reusable half of the single-epoch core: the one-epoch entry points
+    call it once, the streaming runner once per epoch with a per-epoch
+    ``config.epoch`` tag (instances of different epochs coexist on the same
+    router/transport because every component message carries the tag).
+    """
     protocols: dict[int, ConsensusProtocol] = {}
     for node_id, runtime in runtimes.items():
         instance = make_protocol(protocol, runtime, config)
@@ -457,10 +498,24 @@ def _install_protocols(deployment: Deployment, protocol: str,
     return protocols
 
 
-def _propose_all(deployment: Deployment, runtimes: dict[int, DomainRuntime],
-                 workload: TransactionWorkload,
-                 observer: Optional[RunObserver] = None,
-                 domain_of: Optional[Callable[[int], Any]] = None) -> None:
+def propose_epoch(deployment: Deployment, runtimes: dict[int, DomainRuntime],
+                  workload: TransactionWorkload,
+                  observer: Optional[RunObserver] = None,
+                  domain_of: Optional[Callable[[int], Any]] = None,
+                  batch_for: Optional[Callable[[int, DomainRuntime], list]] = None,
+                  equivocation_epoch: Any = EQUIVOCATION_EPOCH) -> None:
+    """Submit every eligible node's proposal for one epoch.
+
+    The other half of the single-epoch core.  Byzantine proposal strategies
+    (crash / mute / garbage / equivocation) are applied here so every entry
+    point -- including the streaming runner -- exercises the same fault
+    surface.  ``batch_for(node_id, runtime)`` overrides where honest batches
+    come from (default: ``workload.batch_for(local_id)``; the streaming
+    runner drains per-node mempools instead); ``equivocation_epoch`` is the
+    workload tag the conflicting batch of an equivocating proposer is derived
+    from, which streaming varies per epoch so conflicting batches stay
+    disjoint from every honest batch of the stream.
+    """
     spec = deployment.scenario.byzantine
     proposal_rng = random.Random(deployment.sim.seed ^ 0xBAD)
     domain_of = domain_of or (lambda _node_id: 0)
@@ -477,13 +532,16 @@ def _propose_all(deployment: Deployment, runtimes: dict[int, DomainRuntime],
                                          kind="garbage")
             node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
             continue
-        batch = workload.batch_for(runtime.local_id)
+        if batch_for is not None:
+            batch = batch_for(node_id, runtime)
+        else:
+            batch = workload.batch_for(runtime.local_id)
         if observer is not None:
             observer.record_proposal(node_id, batch, domain_of(node_id))
         node.run_task(lambda p=runtime.protocol, b=batch: p.propose(b))
         if spec.equivocates(node_id):
             conflicting = workload.batch_for(runtime.local_id,
-                                             epoch=EQUIVOCATION_EPOCH)
+                                             epoch=equivocation_epoch)
             if observer is not None:
                 observer.record_proposal(node_id, conflicting,
                                          domain_of(node_id),
@@ -577,6 +635,7 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
     """
     if not scenario.is_multi_hop:
         raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
+    _reject_streaming_only_strategies(scenario)
     global_config = ConsensusConfig(
         epoch=("global", (config or ConsensusConfig()).epoch),
         use_threshold_encryption=False,
@@ -590,16 +649,16 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
         workload_spec or WorkloadSpec(batch_size=batch_size,
                                       transaction_bytes=transaction_bytes),
         seed=seed)
-    local_protocols = _install_protocols(deployment, protocol,
-                                         deployment.runtimes, config)
-    global_protocols = _install_protocols(deployment, protocol,
-                                          deployment.global_runtimes,
-                                          global_config)
+    local_protocols = install_epoch_protocols(deployment, protocol,
+                                              deployment.runtimes, config)
+    global_protocols = install_epoch_protocols(deployment, protocol,
+                                               deployment.global_runtimes,
+                                               global_config)
     cluster_of = {node_id: cluster.index
                   for cluster in scenario.topology.clusters
                   for node_id in cluster.node_ids}
-    _propose_all(deployment, deployment.runtimes, workload, observer=observer,
-                 domain_of=lambda node_id: ("cluster", cluster_of[node_id]))
+    propose_epoch(deployment, deployment.runtimes, workload, observer=observer,
+                  domain_of=lambda node_id: ("cluster", cluster_of[node_id]))
 
     outcomes: dict[int, ClusterOutcome] = {}
     result = MultiHopResult()
@@ -628,8 +687,10 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
 
     watchers = []
     for cluster in scenario.topology.clusters:
-        leader_id = _epoch_leader(scenario, cluster)
-        watchers.append(watch_local(cluster, leader_id))
+        # The deployment's schedules already resolved (and, under
+        # rotate_crashed_leaders, rotated) the wired leader per cluster.
+        watchers.append(watch_local(cluster,
+                                    deployment.epoch_leaders[cluster.index]))
 
     honest_leaders = [leader for leader in deployment.global_runtimes
                       if leader not in scenario.byzantine.byzantine_ids]

@@ -9,6 +9,7 @@ aggregates that back the overhead analysis.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Optional
@@ -106,6 +107,120 @@ class ComponentRunResult:
         if not self.per_node_channel_accesses:
             return 0.0
         return statistics.fmean(self.per_node_channel_accesses.values())
+
+
+def percentile(sample: list[float], fraction: float) -> float:
+    """Deterministic nearest-rank percentile of ``sample``.
+
+    ``fraction`` in [0, 1]; an empty sample yields NaN.  Nearest-rank
+    (``ceil(fraction * N)``-th smallest, no interpolation) keeps streaming
+    summaries byte-stable across platforms.
+    """
+    if not sample:
+        return float("nan")
+    ordered = sorted(sample)
+    rank = math.ceil(fraction * len(ordered)) - 1
+    return ordered[min(len(ordered) - 1, max(0, rank))]
+
+
+@dataclass
+class EpochRecord:
+    """Per-epoch outcome of a streaming run (all times virtual seconds)."""
+
+    epoch: int
+    start_s: float
+    decide_s: float
+    latency_s: float
+    committed_transactions: int
+    block_digest: str
+    #: deepest per-node mempool backlog at proposal time (transactions)
+    backlog_max: int
+    #: mean per-node mempool backlog at proposal time (transactions)
+    backlog_mean: float
+
+
+@dataclass
+class StreamingRunResult:
+    """Outcome of a multi-epoch streaming (sustained-load) run.
+
+    Units: every time is **simulated virtual seconds**; ``throughput_tps``
+    is committed transactions per virtual second (the paper's TPM divided by
+    60); backlog depths are transactions.  ``decided`` means every targeted
+    epoch was decided by every honest node within the scenario timeout.
+    """
+
+    protocol: str
+    batched: bool
+    num_nodes: int
+    epochs_target: int
+    epochs_completed: int
+    decided: bool
+    pipeline_depth: int
+    offered_load_tps: float
+    per_epoch: list[EpochRecord] = field(default_factory=list)
+    committed_transactions: int = 0
+    #: virtual time at which the last epoch decided (NaN on timeout)
+    duration_s: float = float("nan")
+    #: running SHA-256 chain over the per-epoch block digests (one hash,
+    #: O(1) memory, pins the whole decided history)
+    ledger_digest: str = ""
+    arrivals_generated: int = 0
+    arrivals_admitted: int = 0
+    arrivals_dropped_capacity: int = 0
+    arrivals_dropped_duplicate: int = 0
+    channel_accesses: int = 0
+    bytes_sent: int = 0
+    collisions: int = 0
+    sim_events: int = 0
+    seed: int = 0
+
+    @property
+    def per_epoch_digests(self) -> tuple:
+        """Block digest of every decided epoch, in epoch order."""
+        return tuple(record.block_digest for record in self.per_epoch)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per virtual second, over the whole stream."""
+        if not self.epochs_completed or not self.duration_s \
+                or self.duration_s != self.duration_s:
+            return 0.0
+        return self.committed_transactions / self.duration_s
+
+    @property
+    def epoch_latencies_s(self) -> list:
+        """Latency sample of the decided epochs (virtual seconds)."""
+        return [record.latency_s for record in self.per_epoch]
+
+    @property
+    def p50_latency_s(self) -> float:
+        """Median epoch latency (nearest-rank, virtual seconds)."""
+        return percentile(self.epoch_latencies_s, 0.50)
+
+    @property
+    def p90_latency_s(self) -> float:
+        """90th-percentile epoch latency (nearest-rank, virtual seconds)."""
+        return percentile(self.epoch_latencies_s, 0.90)
+
+    @property
+    def max_latency_s(self) -> float:
+        """Worst epoch latency (virtual seconds)."""
+        sample = self.epoch_latencies_s
+        return max(sample) if sample else float("nan")
+
+    @property
+    def max_backlog(self) -> int:
+        """Deepest backlog any node showed at any proposal time."""
+        return max((record.backlog_max for record in self.per_epoch),
+                   default=0)
+
+    @property
+    def mean_backlog(self) -> float:
+        """Mean of the per-epoch mean backlogs."""
+        if not self.per_epoch:
+            return 0.0
+        return statistics.fmean(record.backlog_mean
+                                for record in self.per_epoch)
 
 
 @dataclass

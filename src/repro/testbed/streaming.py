@@ -1,0 +1,605 @@
+"""Streaming multi-epoch consensus: sustained load, pipelining, checkpoint/GC.
+
+Every other harness entry point runs exactly *one* epoch; this module is the
+fifth entry point, :func:`run_streaming_consensus`, which drives the same
+protocol cores through ``E`` back-to-back epochs on **one long-lived
+deployment** against an open-loop transaction arrival process
+(:class:`~repro.testbed.workload.OpenLoopArrivals`).  It is what answers the
+paper's deployment question -- sustained throughput and latency under
+continuous client load -- rather than the per-epoch snapshots of the figures.
+
+Shape of a streaming run
+------------------------
+
+* **Arrivals** -- each node receives a seeded Poisson-like stream of
+  transactions (virtual-time inter-arrival gaps from a per-node child RNG,
+  never the simulator RNG) into a bounded :class:`Mempool`; arrivals beyond
+  the bound are dropped and counted, so memory stays O(backlog) under
+  overload.
+* **Epochs** -- epoch ``e`` installs fresh protocol instances tagged with
+  ``e`` on the deployment's existing routers/transports (dealt keys are
+  reused; only the per-epoch tags change), every eligible node proposes up
+  to ``batch_size`` transactions drained from its mempool, and the epoch is
+  *complete* once every honest node (every honest leader, multi-hop) has
+  decided it.
+* **Pipelining** -- ``pipeline_depth`` extra epochs may be in flight at
+  once: with depth ``d``, epoch ``e`` starts as soon as epoch ``e - 1 - d``
+  has completed, so at depth 1 the RBC dissemination of epoch ``e + 1``
+  overlaps the ABA/decryption tail of epoch ``e`` on the shared channel.
+  Tags keep the message streams of concurrent epochs apart.
+* **Checkpoint/GC** -- when the oldest in-flight epoch completes it is
+  checkpointed: its committed transactions are folded into the running
+  ledger digest, its metrics are recorded, and (with ``gc`` enabled, the
+  default) every protocol instance of the epoch releases its router and
+  transport state (:meth:`repro.protocols.base.ConsensusProtocol.release`).
+  Live state is therefore bounded by the pipeline window, not the stream
+  length.
+
+Determinism contract
+--------------------
+
+``run_streaming_consensus`` is a pure function of
+``(protocol, scenario, spec, batched, seed, config)`` -- bit-reproducible
+across reruns and worker counts like the other entry points (guarded by
+``tests/testbed/test_streaming.py``).  Additionally, because arrival streams
+are pace independent and nodes drain their mempools in FIFO arrival order,
+a fault-free run that stays **saturated** (every node's backlog covers its
+batch size at every proposal) commits the same transactions to the same
+epochs at any pipeline depth: per-epoch block digests are bit-identical
+between depth 0 and depth 1.  ``StreamingSpec.warmup >= epochs *
+batch_size`` guarantees saturation regardless of the offered load (the
+regression test and the ``streaming-pipeline`` experiment pin the identity
+at 50 epochs this way); unsaturated streams may legitimately compose epochs
+differently at different depths -- pipelined epochs propose *earlier*, when
+fewer arrivals are buffered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import statistics
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+from repro.protocols.base import ConsensusConfig, ConsensusProtocol
+from repro.testbed.harness import (
+    Deployment,
+    DeploymentError,
+    build_deployment,
+    crypto_schemes_for_protocol,
+    install_epoch_protocols,
+    propose_epoch,
+)
+from repro.testbed.invariants import RunObserver
+from repro.testbed.metrics import EpochRecord, StreamingRunResult
+from repro.testbed.scenarios import Scenario
+from repro.testbed.workload import (
+    ArrivalSpec,
+    OpenLoopArrivals,
+    TransactionWorkload,
+    WorkloadSpec,
+)
+
+
+@dataclass(frozen=True)
+class StreamingSpec:
+    """Configuration of one streaming run.
+
+    Units: ``epochs`` counts consensus epochs; ``batch_size`` is the maximum
+    number of transactions a node drains from its mempool per epoch;
+    ``pipeline_depth`` is the number of *extra* epochs allowed in flight
+    beyond the oldest incomplete one (0 = strictly sequential, 1 = epoch
+    ``e + 1`` disseminates while epoch ``e`` finishes); ``gc`` toggles the
+    checkpoint-time release of decided-epoch state (disable only to measure
+    what GC saves).
+    """
+
+    epochs: int = 16
+    batch_size: int = 8
+    pipeline_depth: int = 0
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    gc: bool = True
+    #: arrivals per node pre-buffered into the mempool at t=0 (clients queued
+    #: while the system was offline); lets a stream start saturated instead
+    #: of ramping up from empty mempools.
+    warmup: int = 0
+    #: when the next epoch may start disseminating (pipeline_depth > 0):
+    #: ``locked`` waits until every honest node's *content* for the previous
+    #: epoch is frozen (its ``pipeline_ready`` point -- the common subset
+    #: lock for HoneyBadger/BEAT), so pipelining can never change what an
+    #: in-flight epoch decides; ``eager`` starts the moment the window has
+    #: room, claiming the channel-idle gaps of ABA coin rounds for the next
+    #: epoch's RBC at the cost of pipelining-dependent epoch composition.
+    pipeline_gate: str = "locked"
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.pipeline_depth < 0:
+            raise ValueError(
+                f"pipeline_depth must be >= 0, got {self.pipeline_depth}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.pipeline_gate not in ("locked", "eager"):
+            raise ValueError(f"unknown pipeline_gate {self.pipeline_gate!r}; "
+                             f"known: locked, eager")
+
+
+class Mempool:
+    """One node's bounded FIFO backlog of not-yet-proposed transactions.
+
+    Admission dedups against everything currently pooled *or* in flight
+    (proposed but not yet committed) and enforces ``capacity`` on the pooled
+    backlog; both kinds of rejection are counted.  Committed transactions are
+    forgotten entirely, which is what keeps memory proportional to
+    ``backlog + in-flight`` rather than to stream history.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._pool: dict[bytes, None] = {}  # insertion-ordered set
+        self._in_flight: set[bytes] = set()
+        self.admitted = 0
+        self.dropped_capacity = 0
+        self.dropped_duplicate = 0
+        self.committed = 0
+
+    @property
+    def backlog(self) -> int:
+        """Transactions waiting to be proposed."""
+        return len(self._pool)
+
+    def admit(self, transaction: bytes) -> bool:
+        """Admit one arriving transaction (False = dropped, with the reason
+        counted in ``dropped_duplicate`` / ``dropped_capacity``)."""
+        if transaction in self._pool or transaction in self._in_flight:
+            self.dropped_duplicate += 1
+            return False
+        if len(self._pool) >= self.capacity:
+            self.dropped_capacity += 1
+            return False
+        self._pool[transaction] = None
+        self.admitted += 1
+        return True
+
+    def take(self, count: int) -> list:
+        """Drain up to ``count`` transactions in FIFO arrival order.
+
+        Taken transactions move to the in-flight set (still deduped against,
+        no longer counted in ``backlog``) until :meth:`commit` sees them or
+        :meth:`requeue` returns them.
+        """
+        batch = list(itertools.islice(self._pool, max(0, count)))
+        for transaction in batch:
+            del self._pool[transaction]
+            self._in_flight.add(transaction)
+        return batch
+
+    def commit(self, transactions) -> None:
+        """Forget committed transactions (from in-flight or, defensively,
+        from the pool when another node proposed the same bytes first)."""
+        for transaction in transactions:
+            if transaction in self._in_flight:
+                self._in_flight.discard(transaction)
+                self.committed += 1
+            elif transaction in self._pool:
+                del self._pool[transaction]
+                self.committed += 1
+
+    def requeue(self, transactions) -> None:
+        """Return in-flight transactions to the *front* of the pool.
+
+        Called at checkpoint time for proposed-but-not-committed
+        transactions (their proposer was excluded from the epoch's common
+        subset); front placement preserves arrival order, so they lead the
+        next epoch's batch instead of starving behind newer arrivals.
+        """
+        returned = [transaction for transaction in transactions
+                    if transaction in self._in_flight]
+        if not returned:
+            return
+        for transaction in returned:
+            self._in_flight.discard(transaction)
+        refilled = {transaction: None for transaction in returned}
+        refilled.update(self._pool)
+        self._pool = refilled
+
+
+def _chain_digest(previous: str, epoch_digest: str) -> str:
+    """Fold one epoch's block digest into the running ledger digest."""
+    return hashlib.sha256(f"{previous}|{epoch_digest}".encode()).hexdigest()
+
+
+class StreamingRun:
+    """Internal driver of one streaming run (kept as a class so tests can
+    inspect the deployment's post-run state, e.g. the GC bounds)."""
+
+    def __init__(self, protocol: str, scenario: Scenario, spec: StreamingSpec,
+                 batched: bool = True, seed: int = 0,
+                 config: Optional[ConsensusConfig] = None,
+                 observer: Optional[RunObserver] = None) -> None:
+        self.protocol = protocol
+        self.scenario = scenario
+        self.spec = spec
+        self.batched = batched
+        self.seed = seed
+        self.base_config = config or ConsensusConfig()
+        self.observer = observer
+        byzantine = scenario.byzantine
+        if (byzantine.nodes_with("epoch-crash")
+                and byzantine.crash_at_epoch >= spec.epochs):
+            # Mirror _inject_equivocation's philosophy: a mid-stream fault
+            # that can never fire must fail loudly, not pass vacuously.
+            raise DeploymentError(
+                f"epoch-crash at epoch {byzantine.crash_at_epoch} can never "
+                f"fire in a {spec.epochs}-epoch stream")
+        if scenario.is_multi_hop:
+            global_config = self._global_config(0)
+            self.deployment = build_deployment(
+                scenario, batched=batched, seed=seed,
+                crypto_schemes=crypto_schemes_for_protocol(
+                    protocol, self.base_config),
+                global_crypto_schemes=crypto_schemes_for_protocol(
+                    protocol, global_config))
+        else:
+            self.deployment = build_deployment(
+                scenario, batched=batched, seed=seed,
+                crypto_schemes=crypto_schemes_for_protocol(
+                    protocol, self.base_config))
+        self.arrivals = OpenLoopArrivals(spec.arrival, scenario.num_nodes,
+                                         seed=seed)
+        self.mempools = {node_id: Mempool(spec.arrival.max_mempool)
+                         for node_id in self.deployment.nodes}
+        #: conflicting-batch source for equivocating proposers (per epoch)
+        self.workload = TransactionWorkload(
+            WorkloadSpec(batch_size=spec.batch_size,
+                         transaction_bytes=spec.arrival.transaction_bytes,
+                         flavor=spec.arrival.flavor), seed=seed)
+        self.honest = self.deployment.honest_ids()
+        if scenario.is_multi_hop:
+            byzantine = scenario.byzantine.byzantine_ids
+            self.honest_leaders = [
+                leader for leader in self.deployment.epoch_leaders.values()
+                if leader not in byzantine]
+            self.cluster_of = {node_id: cluster.index
+                               for cluster in scenario.topology.clusters
+                               for node_id in cluster.node_ids}
+        # per-epoch state, dropped at checkpoint time
+        self.epoch_batches: dict[int, dict[int, list]] = {}
+        self.local_instances: dict[int, dict[int, ConsensusProtocol]] = {}
+        self.global_instances: dict[int, dict[int, ConsensusProtocol]] = {}
+        self._fed_clusters: dict[int, set] = {}
+        self.epoch_start_s: dict[int, float] = {}
+        self.epoch_backlogs: dict[int, list] = {}
+        # stream progress
+        self.next_epoch = 0
+        self.checkpoint_cursor = 0
+        self.records: list[EpochRecord] = []
+        self.ledger_digest = ""
+        self.committed_transactions = 0
+        self.last_decide_s = float("nan")
+
+    # ----------------------------------------------------------- arrival pump
+    def _pump(self, node_id: int) -> None:
+        """Schedule node ``node_id``'s next arrival as a simulator event."""
+        when, transaction = self.arrivals.next_arrival(node_id)
+        self.deployment.sim.schedule_at(
+            when, lambda: self._arrive(node_id, transaction),
+            label=f"arrival:{node_id}")
+
+    def _arrive(self, node_id: int, transaction: bytes) -> None:
+        self.mempools[node_id].admit(transaction)
+        self._pump(node_id)
+
+    # ------------------------------------------------------------ epoch starts
+    def _global_config(self, epoch: int) -> ConsensusConfig:
+        return ConsensusConfig(
+            epoch=("global", epoch),
+            use_threshold_encryption=False,
+            max_aba_rounds=self.base_config.max_aba_rounds)
+
+    def _crash_epoch_victims(self, epoch: int) -> None:
+        """Fire the ``epoch-crash`` fault: victims go silent at epoch k."""
+        byzantine = self.scenario.byzantine
+        if byzantine.crash_at_epoch != epoch:
+            return
+        for node_id in byzantine.nodes_with("epoch-crash"):
+            node = self.deployment.nodes.get(node_id)
+            if node is not None and not node.crashed:
+                node.crash()
+
+    def _start_epoch(self, epoch: int) -> None:
+        deployment = self.deployment
+        self._crash_epoch_victims(epoch)
+        self.epoch_start_s[epoch] = deployment.sim.now
+        honest_backlogs = [self.mempools[node_id].backlog
+                           for node_id in self.honest]
+        self.epoch_backlogs[epoch] = honest_backlogs
+        config = replace(self.base_config, epoch=epoch)
+        instances = install_epoch_protocols(deployment, self.protocol,
+                                            deployment.runtimes, config)
+        self.local_instances[epoch] = instances
+        if self.scenario.is_multi_hop:
+            domain_of: Callable[[int], Any] = lambda node_id: (
+                "epoch", epoch, "cluster", self.cluster_of[node_id])
+            self.global_instances[epoch] = install_epoch_protocols(
+                deployment, self.protocol, deployment.global_runtimes,
+                self._global_config(epoch))
+            self._fed_clusters[epoch] = set()
+        else:
+            domain_of = lambda _node_id: ("epoch", epoch)
+        batches: dict[int, list] = {}
+        self.epoch_batches[epoch] = batches
+
+        def drain(node_id: int, _runtime) -> list:
+            batch = self.mempools[node_id].take(self.spec.batch_size)
+            batches[node_id] = batch
+            return batch
+
+        propose_epoch(
+            deployment, deployment.runtimes, self.workload,
+            observer=self.observer, domain_of=domain_of,
+            batch_for=drain, equivocation_epoch=("equiv", epoch))
+        self.next_epoch = epoch + 1
+
+    def _feed_global(self, epoch: int) -> None:
+        """Multi-hop: feed decided local blocks into the epoch's global
+        instance (the streaming replay of ``run_multihop_consensus``'s
+        watcher loop; leaders stay pinned to the deployment's schedules)."""
+        from repro.protocols.multihop import encode_cluster_contribution
+
+        fed = self._fed_clusters[epoch]
+        for cluster in self.scenario.topology.clusters:
+            if cluster.index in fed:
+                continue
+            leader_id = self.deployment.epoch_leaders[cluster.index]
+            local = self.local_instances[epoch].get(leader_id)
+            if local is None or not local.decided:
+                continue
+            fed.add(cluster.index)
+            contribution = encode_cluster_contribution(
+                cluster.index, list(local.block or []))
+            global_instance = self.global_instances[epoch].get(leader_id)
+            if global_instance is not None:
+                self.deployment.nodes[leader_id].run_task(
+                    lambda p=global_instance, c=contribution: p.propose([c]))
+
+    # -------------------------------------------------------------- lifecycle
+    def _epoch_ready(self, epoch: int) -> bool:
+        """Whether epoch ``epoch`` allows the next epoch to start (depth > 0).
+
+        Single-hop: every honest node's instance reports ``pipeline_ready``
+        -- its decided content is frozen (for HoneyBadger/BEAT, the common
+        subset is locked; only content-deterministic decryption remains), so
+        the next epoch's dissemination can no longer change epoch ``epoch``'s
+        block.  Multi-hop conservatively requires the epoch to be complete
+        (the global block depends on which local blocks get fed, so there is
+        no earlier point at which its content is frozen).
+        """
+        if epoch < 0 or self.spec.pipeline_gate == "eager":
+            return True
+        if epoch < self.checkpoint_cursor:  # already checkpointed
+            return True
+        if self.scenario.is_multi_hop:
+            return self._epoch_complete(epoch)
+        instances = self.local_instances.get(epoch)
+        if instances is None:  # already checkpointed
+            return True
+        return all(instances[node_id].pipeline_ready
+                   for node_id in self.honest if node_id in instances)
+
+    def _epoch_complete(self, epoch: int) -> bool:
+        locals_done = all(
+            instance.decided
+            for node_id, instance in self.local_instances[epoch].items()
+            if node_id in self.honest)
+        if not self.scenario.is_multi_hop:
+            return locals_done
+        # Multi-hop: every honest *local* instance must decide too (not just
+        # the leaders' global instances) -- checkpointing releases the whole
+        # epoch, and release() is only sound once no honest instance is
+        # still in flight (see ConsensusProtocol.release).
+        instances = self.global_instances[epoch]
+        return locals_done and all(instances[leader].decided
+                                   for leader in self.honest_leaders)
+
+    def _checkpoint(self, epoch: int) -> None:
+        """Record, commit and (optionally) GC one completed epoch."""
+        if self.scenario.is_multi_hop:
+            deciders = {leader: self.global_instances[epoch][leader]
+                        for leader in self.honest_leaders}
+        else:
+            deciders = {node_id: self.local_instances[epoch][node_id]
+                        for node_id in self.honest}
+        decide_times = [instance.decide_time
+                        for instance in deciders.values()
+                        if instance.decide_time is not None]
+        decide_s = max(decide_times)
+        digest = ""
+        committed: list = []
+        for node_id, instance in deciders.items():
+            witness = instance.witness()
+            if witness.digest is None:
+                continue
+            if not digest:
+                digest = witness.digest
+                committed = self._committed_transactions(list(witness.block))
+            if self.observer is not None:
+                domain = ("epoch", epoch, "global") \
+                    if self.scenario.is_multi_hop else ("epoch", epoch)
+                self.observer.record_decision(
+                    node_id, list(witness.block), witness.decide_time,
+                    domain=domain, digest=witness.digest,
+                    transactions=committed if self.scenario.is_multi_hop
+                    else None)
+        if self.observer is not None and self.scenario.is_multi_hop:
+            for node_id, instance in self.local_instances[epoch].items():
+                if node_id not in self.honest:
+                    continue
+                witness = instance.witness()
+                if witness.block is None:
+                    continue
+                self.observer.record_decision(
+                    node_id, list(witness.block), witness.decide_time,
+                    domain=("epoch", epoch, "cluster",
+                            self.cluster_of[node_id]),
+                    digest=witness.digest)
+        committed_set = set(committed)
+        for mempool in self.mempools.values():
+            mempool.commit(committed)
+        # Proposed-but-uncommitted batches (proposer excluded from the common
+        # subset) go back to the front of their mempool for a later epoch.
+        for node_id, batch in self.epoch_batches.pop(epoch, {}).items():
+            leftovers = [transaction for transaction in batch
+                         if transaction not in committed_set]
+            if leftovers:
+                self.mempools[node_id].requeue(leftovers)
+        backlogs = self.epoch_backlogs.pop(epoch)
+        start_s = self.epoch_start_s.pop(epoch)
+        self.records.append(EpochRecord(
+            epoch=epoch, start_s=start_s, decide_s=decide_s,
+            latency_s=decide_s - start_s,
+            committed_transactions=len(committed),
+            block_digest=digest,
+            backlog_max=max(backlogs) if backlogs else 0,
+            backlog_mean=statistics.fmean(backlogs) if backlogs else 0.0))
+        self.ledger_digest = _chain_digest(self.ledger_digest, digest)
+        self.committed_transactions += len(committed)
+        self.last_decide_s = decide_s
+        if self.spec.gc:
+            self._release_epoch(epoch)
+        self.local_instances.pop(epoch, None)
+        self.global_instances.pop(epoch, None)
+        self._fed_clusters.pop(epoch, None)
+        self.checkpoint_cursor = epoch + 1
+
+    def _committed_transactions(self, block: list) -> list:
+        if not self.scenario.is_multi_hop:
+            return block
+        from repro.testbed.harness import _decode_contribution_txs
+
+        return [transaction for item in block
+                for transaction in _decode_contribution_txs(item)]
+
+    def _release_epoch(self, epoch: int) -> None:
+        for instance in self.local_instances[epoch].values():
+            instance.release()
+        for instance in self.global_instances.get(epoch, {}).values():
+            instance.release()
+
+    # ------------------------------------------------------------------- run
+    def _poll(self) -> bool:
+        """Advance the stream: checkpoint completed epochs, feed global
+        instances, start eligible epochs.  True once every epoch is
+        checkpointed.
+
+        Checkpointing runs *before* starts within one pass so that, when an
+        epoch completes and its successor becomes eligible at the same
+        simulated instant, commits and requeues land in the mempools before
+        the successor drains them -- regardless of pipeline depth (part of
+        the depth-0-vs-depth-1 identity contract).
+        """
+        window = 1 + self.spec.pipeline_depth
+        progressed = True
+        while progressed:
+            progressed = False
+            while (self.checkpoint_cursor < self.next_epoch
+                   and self._epoch_complete(self.checkpoint_cursor)):
+                self._checkpoint(self.checkpoint_cursor)
+                progressed = True
+            if self.scenario.is_multi_hop:
+                for epoch in list(self.global_instances):
+                    self._feed_global(epoch)
+            if (self.next_epoch < self.spec.epochs
+                    and self.next_epoch - self.checkpoint_cursor < window
+                    and self._epoch_ready(self.next_epoch - 1)):
+                self._start_epoch(self.next_epoch)
+                progressed = True
+        return self.checkpoint_cursor >= self.spec.epochs
+
+    def run(self) -> StreamingRunResult:
+        """Execute the stream to completion (or the scenario timeout)."""
+        deployment = self.deployment
+        for node_id in sorted(self.mempools):
+            # Warmup: the first `warmup` arrivals of each stream are already
+            # buffered when the stream starts (clients queued offline).
+            for _ in range(self.spec.warmup):
+                _when, transaction = self.arrivals.next_arrival(node_id)
+                self.mempools[node_id].admit(transaction)
+            self._pump(node_id)
+        finished = deployment.sim.run_until(self._poll,
+                                            timeout=self.scenario.timeout_s)
+        deployment.shutdown()
+        dropped_capacity = sum(m.dropped_capacity
+                               for m in self.mempools.values())
+        dropped_duplicate = sum(m.dropped_duplicate
+                                for m in self.mempools.values())
+        admitted = sum(m.admitted for m in self.mempools.values())
+        return StreamingRunResult(
+            protocol=self.protocol, batched=self.batched,
+            num_nodes=self.scenario.num_nodes,
+            epochs_target=self.spec.epochs,
+            epochs_completed=self.checkpoint_cursor,
+            decided=bool(finished),
+            pipeline_depth=self.spec.pipeline_depth,
+            offered_load_tps=self.spec.arrival.rate_tps,
+            per_epoch=self.records,
+            committed_transactions=self.committed_transactions,
+            duration_s=self.last_decide_s if finished else float("nan"),
+            ledger_digest=self.ledger_digest,
+            arrivals_generated=sum(self.arrivals.generated(node_id)
+                                   for node_id in range(
+                                       self.scenario.num_nodes)),
+            arrivals_admitted=admitted,
+            arrivals_dropped_capacity=dropped_capacity,
+            arrivals_dropped_duplicate=dropped_duplicate,
+            channel_accesses=deployment.trace.total_channel_accesses,
+            bytes_sent=deployment.trace.total_bytes_sent,
+            collisions=deployment.trace.total_collisions,
+            sim_events=deployment.sim.events_processed,
+            seed=self.seed)
+
+
+def run_streaming_consensus(protocol: str, scenario: Scenario,
+                            spec: Optional[StreamingSpec] = None,
+                            batched: bool = True, seed: int = 0,
+                            config: Optional[ConsensusConfig] = None,
+                            observer: Optional[RunObserver] = None) -> StreamingRunResult:
+    """Run ``spec.epochs`` back-to-back consensus epochs under open-loop load.
+
+    The fifth harness entry point.  Works on single-hop *and* multi-hop
+    scenarios: multi-hop streams replay the two-phase construction per epoch
+    with the cluster leaders pinned to the deployment's
+    :class:`~repro.protocols.multihop.LeaderSchedule` state (rotating a
+    leader mid-stream would re-wire the backbone; exclusions still persist
+    on the deployment-owned schedules).
+
+    Args:
+        protocol: canonical protocol name (``honeybadger-sc``, ``beat``, ...).
+        scenario: the deployment description; ``scenario.timeout_s`` bounds
+            the **whole stream** in virtual seconds.
+        spec: the :class:`StreamingSpec` (epochs, per-epoch batch size,
+            pipeline depth, arrival process, GC toggle).
+        batched / seed / config / observer: as in
+            :func:`repro.testbed.harness.run_consensus`; the observer sees
+            per-epoch domains (``("epoch", e)``, or ``("epoch", e,
+            "cluster", c)`` / ``("epoch", e, "global")`` for multi-hop), so
+            the campaign invariant checkers judge every epoch independently.
+
+    Returns a :class:`~repro.testbed.metrics.StreamingRunResult`; all times
+    are virtual seconds and ``throughput_tps`` is committed transactions per
+    virtual second.  Deterministic in all arguments (see the module
+    docstring for the contract, including the saturated depth-0-vs-depth-1
+    digest identity).
+    """
+    if spec is None:
+        spec = StreamingSpec()
+    if scenario.num_nodes < 1:
+        raise DeploymentError("streaming needs at least one node")
+    return StreamingRun(protocol, scenario, spec, batched=batched, seed=seed,
+                        config=config, observer=observer).run()

@@ -1,4 +1,4 @@
-"""Transaction workload generation.
+"""Transaction workload generation: per-epoch batches and open-loop arrivals.
 
 The paper's evaluation measures throughput in transactions per minute (TPM),
 with every node contributing a batch of transactions per epoch.  The
@@ -6,6 +6,27 @@ generator produces deterministic, seeded batches of configurable size, plus
 two domain-flavoured workloads matching the motivating wireless applications
 (dynamic task allocation for a robot swarm and telemetry/map-fragment
 exchange), which the example programs use.
+
+For sustained-load (streaming) runs the module adds an **open-loop arrival
+process** (:class:`ArrivalSpec` / :class:`OpenLoopArrivals`): clients submit
+transactions at seeded Poisson-like arrival times *regardless of how fast
+consensus drains them*, which is what exposes saturation -- the offered load
+beyond which the backlog grows without bound.
+
+Seeded-RNG stream discipline
+----------------------------
+
+Every random quantity here derives from a caller-provided integer ``seed``
+through CRCs of canonical reprs (never Python's per-process-salted ``hash``),
+and each node's arrival stream draws from its **own** child RNG:
+
+* arrival *times* and transaction *bytes* of node ``i`` are a pure function
+  of ``(seed, i, arrival index)`` -- independent of every other node, of the
+  simulation's pace, and of how often (or lazily) the stream is read;
+* nothing here ever touches the simulator's RNG, so a fault-free streaming
+  run consumes exactly the same substrate RNG stream as the equivalent
+  sequence of single-epoch runs -- fault-free streams stay bit-identical to
+  their seed (guarded by ``tests/testbed/test_streaming.py``).
 """
 
 from __future__ import annotations
@@ -77,6 +98,20 @@ class TransactionWorkload:
                     ).encode()
         return self._pad(body, rng)
 
+    def stream_transaction(self, node_id: int, index: int) -> bytes:
+        """Transaction ``index`` of node ``node_id``'s open-loop arrival stream.
+
+        Same flavor machinery and ``|#``-terminated padding as the per-epoch
+        batches, but tagged with the stream epoch label ``("stream", index)``
+        so stream transactions can never collide with any epoch batch of the
+        same seed.  Pure function of ``(self.seed, node_id, index)``:
+        re-reading the stream, in any order, yields identical bytes.
+        """
+        epoch = ("stream", index)
+        rng = random.Random(
+            zlib.crc32(repr((self.seed, node_id, epoch)).encode()))
+        return self._transaction(rng, node_id, epoch, 0)
+
     def _pad(self, body: bytes, rng: random.Random) -> bytes:
         target = self.spec.transaction_bytes
         if len(body) >= target:
@@ -88,3 +123,89 @@ class TransactionWorkload:
             return body[:target]
         filler = bytes(rng.randrange(256) for _ in range(target - len(body)))
         return body + filler
+
+
+# ---------------------------------------------------------------------------
+# open-loop arrivals (streaming runs)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Shape of an open-loop transaction arrival process.
+
+    Units: ``rate_tps`` is offered load in **transactions per second of
+    virtual time**, summed over the whole network (each of the ``n`` nodes
+    receives a Poisson-like stream of rate ``rate_tps / n``);
+    ``transaction_bytes`` is the size of one transaction in **bytes**
+    (>= 8, as in :class:`WorkloadSpec`); ``max_mempool`` bounds each node's
+    backlog in **transactions** -- arrivals beyond it are dropped and
+    counted, which is what keeps streaming memory O(backlog) under
+    overload.
+    """
+
+    rate_tps: float = 1.0
+    transaction_bytes: int = 48
+    flavor: str = "uniform"  # uniform | task-allocation | telemetry
+    max_mempool: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.rate_tps <= 0:
+            raise ValueError(f"rate_tps must be > 0, got {self.rate_tps}")
+        if self.transaction_bytes < 8:
+            raise ValueError(
+                f"transaction_bytes must be >= 8, got {self.transaction_bytes}")
+        if self.max_mempool < 1:
+            raise ValueError(
+                f"max_mempool must be >= 1, got {self.max_mempool}")
+        if self.flavor not in ("uniform", "task-allocation", "telemetry"):
+            raise ValueError(f"unknown workload flavor {self.flavor!r}")
+
+
+class OpenLoopArrivals:
+    """Deterministic per-node open-loop arrival streams.
+
+    Node ``i``'s stream is an independent sequence of ``(time_s, tx)``
+    pairs: exponential inter-arrival gaps of mean ``n / rate_tps`` seconds
+    (virtual time) drawn from a child RNG seeded by ``(seed, i)``, and
+    transaction bytes from
+    :meth:`TransactionWorkload.stream_transaction`.  The stream is **pace
+    independent**: it never reads simulator state, so the k-th arrival of a
+    node has identical time and bytes no matter how fast consensus runs, at
+    which pipeline depth, or in which order streams are interleaved -- the
+    property the depth-0-vs-depth-1 bit-identity of streaming runs rests on.
+    """
+
+    def __init__(self, spec: ArrivalSpec, num_nodes: int, seed: int = 0) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.per_node_rate = spec.rate_tps / num_nodes
+        self._workload = TransactionWorkload(
+            WorkloadSpec(batch_size=1,
+                         transaction_bytes=spec.transaction_bytes,
+                         flavor=spec.flavor), seed=seed)
+        self._rngs = [
+            random.Random(zlib.crc32(
+                repr((seed, "arrival", node_id)).encode()))
+            for node_id in range(num_nodes)]
+        self._clock = [0.0] * num_nodes
+        self._index = [0] * num_nodes
+
+    def next_arrival(self, node_id: int) -> tuple[float, bytes]:
+        """Advance node ``node_id``'s stream by one arrival.
+
+        Returns ``(arrival_time_s, transaction_bytes)``; arrival times are
+        absolute virtual-time seconds, strictly increasing per node.
+        """
+        rng = self._rngs[node_id]
+        self._clock[node_id] += rng.expovariate(self.per_node_rate)
+        transaction = self._workload.stream_transaction(
+            node_id, self._index[node_id])
+        self._index[node_id] += 1
+        return self._clock[node_id], transaction
+
+    def generated(self, node_id: int) -> int:
+        """How many arrivals node ``node_id``'s stream has produced so far."""
+        return self._index[node_id]

@@ -1,0 +1,321 @@
+"""Tier-1 coverage for the streaming (sustained-load) subsystem.
+
+Pins the four contracts the fifth harness entry point ships with:
+
+* **mempool admission/dedup** -- FIFO order, duplicate and capacity drops
+  counted, commit/requeue bookkeeping;
+* **checkpoint/GC bounds** -- post-run router/transport state is empty with
+  GC on and grows with the stream length with GC off;
+* **pipelined-vs-sequential bit-identity** -- per-epoch digests at pipeline
+  depth 1 equal depth 0 under the fault-free adversary (the locked gate with
+  a lock-equals-decide protocol configuration);
+* **seed determinism** -- equal arguments replay the streaming result bit
+  for bit, different seeds differ (the regression the four older entry
+  points already carry).
+"""
+
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.protocols.base import ConsensusConfig
+from repro.testbed.metrics import percentile
+from repro.testbed.invariants import RunObserver, check_all
+from repro.testbed.byzantine import ByzantineSpec
+from repro.testbed.scenarios import Scenario
+from repro.testbed.streaming import (
+    Mempool,
+    StreamingRun,
+    StreamingSpec,
+    run_streaming_consensus,
+)
+from repro.testbed.workload import ArrivalSpec, OpenLoopArrivals
+
+FAST = ArrivalSpec(rate_tps=4.0, transaction_bytes=32, max_mempool=512)
+PLAIN = ConsensusConfig(use_threshold_encryption=False)
+
+
+def small_spec(**overrides) -> StreamingSpec:
+    defaults = dict(epochs=3, batch_size=3, arrival=FAST, warmup=12)
+    defaults.update(overrides)
+    return StreamingSpec(**defaults)
+
+
+class TestMempool:
+    def test_fifo_order_and_backlog(self):
+        pool = Mempool(capacity=8)
+        for value in (b"a", b"b", b"c"):
+            assert pool.admit(value)
+        assert pool.backlog == 3
+        assert pool.take(2) == [b"a", b"b"]
+        assert pool.backlog == 1
+
+    def test_duplicate_admissions_are_dropped_and_counted(self):
+        pool = Mempool(capacity=8)
+        assert pool.admit(b"x")
+        assert not pool.admit(b"x")
+        assert pool.dropped_duplicate == 1
+        # a taken (in-flight) transaction still dedups
+        pool.take(1)
+        assert not pool.admit(b"x")
+        assert pool.dropped_duplicate == 2
+
+    def test_capacity_bound_drops_and_counts(self):
+        pool = Mempool(capacity=2)
+        assert pool.admit(b"1") and pool.admit(b"2")
+        assert not pool.admit(b"3")
+        assert pool.dropped_capacity == 1
+        assert pool.backlog == 2
+
+    def test_commit_forgets_and_reopens_dedup(self):
+        pool = Mempool(capacity=4)
+        pool.admit(b"t")
+        assert pool.take(1) == [b"t"]
+        pool.commit([b"t"])
+        assert pool.committed == 1
+        # committed transactions are forgotten -- re-admission is allowed
+        assert pool.admit(b"t")
+
+    def test_requeue_returns_to_front_in_order(self):
+        pool = Mempool(capacity=8)
+        for value in (b"a", b"b", b"c", b"d"):
+            pool.admit(value)
+        taken = pool.take(2)  # a, b in flight
+        pool.requeue(taken)
+        assert pool.take(4) == [b"a", b"b", b"c", b"d"]
+
+    def test_requeue_ignores_unknown_transactions(self):
+        pool = Mempool(capacity=4)
+        pool.admit(b"a")
+        pool.requeue([b"ghost"])
+        assert pool.backlog == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Mempool(capacity=0)
+
+
+class TestPercentile:
+    def test_nearest_rank_definition(self):
+        # nearest-rank: the ceil(fraction * N)-th smallest value
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+        assert percentile([float(v) for v in range(1, 11)], 0.90) == 9.0
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+        assert percentile([5.0], 0.9) == 5.0
+
+    def test_empty_sample_is_nan(self):
+        value = percentile([], 0.5)
+        assert value != value
+
+
+class TestArrivals:
+    def test_streams_are_pace_independent(self):
+        spec = ArrivalSpec(rate_tps=3.0, transaction_bytes=32)
+        first = OpenLoopArrivals(spec, num_nodes=3, seed=5)
+        second = OpenLoopArrivals(spec, num_nodes=3, seed=5)
+        # interleave reads in different orders; per-node streams must match
+        a = [first.next_arrival(0) for _ in range(4)]
+        _ = [first.next_arrival(1) for _ in range(2)]
+        _ = [second.next_arrival(1) for _ in range(2)]
+        b = [second.next_arrival(0) for _ in range(4)]
+        assert a == b
+
+    def test_times_strictly_increase_and_txs_unique(self):
+        arrivals = OpenLoopArrivals(ArrivalSpec(rate_tps=10.0), 2, seed=9)
+        times, txs = [], set()
+        for _ in range(20):
+            when, tx = arrivals.next_arrival(0)
+            times.append(when)
+            txs.add(tx)
+        assert times == sorted(times) and len(set(times)) == len(times)
+        assert len(txs) == 20
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(rate_tps=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(transaction_bytes=4)
+        with pytest.raises(ValueError):
+            ArrivalSpec(max_mempool=0)
+
+
+class TestStreamingRuns:
+    def test_single_hop_stream_decides_every_epoch(self):
+        result = run_streaming_consensus(
+            "honeybadger-sc", Scenario.single_hop(4), small_spec(), seed=7)
+        assert result.decided
+        assert result.epochs_completed == 3
+        assert len(result.per_epoch) == 3
+        assert result.committed_transactions > 0
+        assert result.throughput_tps > 0
+        assert result.ledger_digest
+
+    def test_replays_identically(self):
+        spec = small_spec()
+        first = run_streaming_consensus("beat", Scenario.single_hop(4), spec,
+                                        seed=21)
+        second = run_streaming_consensus("beat", Scenario.single_hop(4), spec,
+                                         seed=21)
+        assert first == second
+        assert first.per_epoch_digests == second.per_epoch_digests
+        assert first.sim_events == second.sim_events
+
+    def test_different_seeds_differ(self):
+        spec = small_spec()
+        a = run_streaming_consensus("beat", Scenario.single_hop(4), spec,
+                                    seed=22)
+        b = run_streaming_consensus("beat", Scenario.single_hop(4), spec,
+                                    seed=23)
+        assert a != b
+
+    def test_pipeline_depth1_bit_identical_to_sequential(self):
+        """The acceptance contract: fault-free per-epoch digests at depth 1
+        equal depth 0 (locked gate; lock-equals-decide configuration)."""
+        scenario = Scenario.single_hop(4)
+        spec = small_spec(epochs=5, warmup=30)
+        depth0 = run_streaming_consensus("honeybadger-sc", scenario, spec,
+                                         seed=42, config=PLAIN)
+        depth1 = run_streaming_consensus("honeybadger-sc", scenario,
+                                         replace(spec, pipeline_depth=1),
+                                         seed=42, config=PLAIN)
+        assert depth0.per_epoch_digests == depth1.per_epoch_digests
+        differing = [key for key, value in asdict(depth0).items()
+                     if value != asdict(depth1)[key]]
+        assert differing == ["pipeline_depth"]
+
+    def test_eager_pipelining_is_reproducible_and_live(self):
+        scenario = Scenario.scale_single_hop(4)
+        spec = small_spec(epochs=4, pipeline_depth=2, pipeline_gate="eager",
+                          warmup=40,
+                          arrival=replace(FAST, rate_tps=20.0))
+        first = run_streaming_consensus("honeybadger-sc", scenario, spec,
+                                        seed=13)
+        second = run_streaming_consensus("honeybadger-sc", scenario, spec,
+                                         seed=13)
+        assert first == second
+        assert first.decided
+
+    def test_multihop_stream_decides(self):
+        result = run_streaming_consensus(
+            "honeybadger-sc", Scenario.multi_hop(4, 4),
+            small_spec(epochs=2), seed=11)
+        assert result.decided
+        assert result.epochs_completed == 2
+        assert result.committed_transactions > 0
+
+    def test_stream_passes_invariant_checks(self):
+        observer = RunObserver()
+        scenario = Scenario.single_hop(4)
+        result = run_streaming_consensus("beat", scenario, small_spec(),
+                                         seed=17, observer=observer)
+        verdicts = check_all(observer, result.decided, True,
+                             scenario.timeout_s)
+        assert all(verdict.ok for verdict in verdicts)
+        # one decision domain per epoch
+        assert len(observer.domains()) == 3
+
+    def test_epoch_crash_fault_mid_stream(self):
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec(assignments={3: "epoch-crash"}, crash_at_epoch=1))
+        result = run_streaming_consensus("honeybadger-sc", scenario,
+                                         small_spec(epochs=3), seed=19)
+        assert result.decided  # f=1 crash: honest nodes ride it out
+        assert result.epochs_completed == 3
+
+    def test_epoch_crash_beyond_stream_fails_loudly(self):
+        # a mid-stream fault that can never fire must not pass vacuously
+        from repro.testbed.harness import DeploymentError
+
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec(assignments={3: "epoch-crash"}, crash_at_epoch=5))
+        with pytest.raises(DeploymentError):
+            run_streaming_consensus("honeybadger-sc", scenario,
+                                    small_spec(epochs=3), seed=19)
+
+    def test_epoch_crash_is_streaming_only(self):
+        from repro.testbed.harness import DeploymentError, run_consensus
+
+        scenario = Scenario.single_hop(4).with_byzantine(
+            ByzantineSpec(assignments={3: "epoch-crash"}, crash_at_epoch=0))
+        with pytest.raises(DeploymentError):
+            run_consensus("honeybadger-sc", scenario, batch_size=2,
+                          transaction_bytes=32, seed=1)
+        with pytest.raises(ValueError):
+            ByzantineSpec(assignments={3: "epoch-crash"}, crash_at_epoch=-1)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StreamingSpec(epochs=0)
+        with pytest.raises(ValueError):
+            StreamingSpec(pipeline_depth=-1)
+        with pytest.raises(ValueError):
+            StreamingSpec(warmup=-1)
+        with pytest.raises(ValueError):
+            StreamingSpec(pipeline_gate="sideways")
+
+
+class TestCheckpointGc:
+    def _finished_run(self, gc: bool, epochs: int = 4) -> StreamingRun:
+        run = StreamingRun("honeybadger-sc", Scenario.single_hop(4),
+                           small_spec(epochs=epochs, gc=gc), seed=29)
+        result = run.run()
+        assert result.decided
+        return run
+
+    def test_gc_releases_all_epoch_state(self):
+        run = self._finished_run(gc=True)
+        for runtime in run.deployment.runtimes.values():
+            assert not runtime.router._components
+            assert not runtime.transport._active
+            assert not runtime.transport._complete
+
+    def test_without_gc_state_grows_with_stream_length(self):
+        short = self._finished_run(gc=False, epochs=2)
+        long = self._finished_run(gc=False, epochs=4)
+
+        def live_components(run: StreamingRun) -> int:
+            return sum(len(runtime.router._components)
+                       for runtime in run.deployment.runtimes.values())
+
+        assert live_components(short) > 0
+        assert live_components(long) > live_components(short)
+
+    def test_gc_state_is_bounded_by_window_not_epochs(self):
+        short = self._finished_run(gc=True, epochs=2)
+        long = self._finished_run(gc=True, epochs=4)
+        for run in (short, long):
+            assert all(not runtime.router._components
+                       for runtime in run.deployment.runtimes.values())
+
+    def test_late_messages_for_released_scope_are_dropped(self):
+        # a message arriving after its epoch was released must not
+        # re-populate the router's pending buffers (O(history) leak)
+        from repro.components.base import ComponentRouter
+        from repro.core.packet import ComponentMessage
+
+        router = ComponentRouter()
+        released_tag = ("hb", 0)
+        router.release_tag(released_tag)
+        router.dispatch(ComponentMessage(kind="rbc", instance=0, phase="echo",
+                                         sender=1, payload={},
+                                         tag=released_tag))
+        router.dispatch(ComponentMessage(kind="cbc", instance=2, phase="echo",
+                                         sender=1, payload={},
+                                         tag=(released_tag, "value")))
+        assert router.pending_count() == 0
+        # an unknown-but-unreleased scope still buffers (early arrival)
+        router.dispatch(ComponentMessage(kind="rbc", instance=0, phase="echo",
+                                         sender=1, payload={},
+                                         tag=("hb", 1)))
+        assert router.pending_count() == 1
+
+    def test_release_is_what_frees_the_state(self):
+        # the explicit contrast: same stream, only the gc flag differs
+        kept = self._finished_run(gc=False)
+        freed = self._finished_run(gc=True)
+        def batching_slots(run: StreamingRun) -> int:
+            return sum(len(slots)
+                       for runtime in run.deployment.runtimes.values()
+                       for slots in runtime.transport._groups.values())
+
+        assert batching_slots(freed) < batching_slots(kept)
