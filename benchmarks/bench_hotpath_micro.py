@@ -40,6 +40,7 @@ from bench_scale_setup import (  # noqa: E402
     bench_dealer,
     dealer_speedups,
 )
+from bench_scenario import SCENARIO_PACK, bench_scenario  # noqa: E402
 from bench_streaming import STREAM_EPOCHS, bench_streaming  # noqa: E402
 from repro.components import erasure  # noqa: E402
 from repro.crypto.group import (  # noqa: E402
@@ -277,7 +278,8 @@ def run_benchmarks(quick: bool = False) -> dict:
     budget = 0.15 if quick else 1.0
     results: dict[str, float] = {}
     for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
-                    bench_simulator, bench_dealer, bench_streaming):
+                    bench_simulator, bench_dealer, bench_streaming,
+                    bench_scenario):
         results.update(section(budget))
     speedups = dealer_speedups(results)
     speedups |= {
@@ -301,6 +303,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "config": {
             "dealer_num_nodes": DEALER_NUM_NODES,
             "streaming_epochs": STREAM_EPOCHS,
+            "scenario_pack": SCENARIO_PACK,
             "num_parties": NUM_PARTIES,
             "threshold": THRESHOLD,
             "erasure_k": ERASURE_K,

@@ -1,0 +1,108 @@
+"""Wall-clock benchmark of scenario-pack overhead on the streaming hot path.
+
+The :class:`repro.testbed.scenario_packs.ScenarioController` drives phase
+transitions from simulator time: per phase it installs/retires link faults
+and partitions and rewrites the delay model's jitter/latency knobs.  The
+per-delivery cost it adds must stay negligible -- ``plan_delivery`` already
+scans active faults, so a scenario stream should run at essentially the
+same simulated-tx/s rate as a plain stream.  This benchmark measures the
+committed-transactions-per-wall-clock-second rate of a variable-link-pack
+HoneyBadger stream and merges it into ``BENCH_hotpath.json`` so
+``scripts/perf_smoke.py`` gates scenario-path regressions alongside the
+crypto/erasure/simulator/streaming paths.
+
+Run directly (merges into the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_scenario.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.testbed.scenario_packs import load_pack  # noqa: E402
+from repro.testbed.scenarios import Scenario  # noqa: E402
+from repro.testbed.streaming import (  # noqa: E402
+    StreamingSpec,
+    run_streaming_consensus,
+)
+from repro.testbed.workload import ArrivalSpec  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_hotpath.json")
+
+SCENARIO_PACK = "variable-link"
+STREAM_EPOCHS = 8
+STREAM_SEED = 321
+
+
+def _stream_once() -> tuple[int, int]:
+    """One scenario-driven stream; returns (committed tx, epochs)."""
+    pack = load_pack(SCENARIO_PACK)
+    scenario = Scenario.single_hop(4).replace(timeout_s=1200.0)
+    spec = StreamingSpec(
+        epochs=STREAM_EPOCHS, batch_size=4, warmup=64,
+        arrival=ArrivalSpec(rate_tps=2.0, transaction_bytes=32,
+                            max_mempool=1024))
+    result = run_streaming_consensus("honeybadger-sc", scenario, spec,
+                                     seed=STREAM_SEED, pack=pack)
+    assert result.decided
+    assert result.scenario == SCENARIO_PACK
+    return result.committed_transactions, result.epochs_completed
+
+
+def bench_scenario(budget: float) -> dict[str, float]:
+    """Committed-tx rate per wall-clock second under the variable-link pack."""
+    committed = 0
+    runs = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while elapsed < budget or runs == 0:
+        run_committed, _epochs = _stream_once()
+        committed += run_committed
+        runs += 1
+        elapsed = time.perf_counter() - start
+    return {"scenario_stream_tx_per_sec": committed / elapsed}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short timing budgets (noisier, for smoke tests)")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT,
+                        help="BENCH_hotpath.json to merge into")
+    args = parser.parse_args(argv)
+
+    budget = 0.3 if args.quick else 2.0
+    results = bench_scenario(budget)
+
+    document: dict = {}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError:
+            document = {}
+    document.setdefault("results_ops_per_sec", {}).update(
+        {key: round(value, 2) for key, value in results.items()})
+    document.setdefault("config", {})["scenario_pack"] = SCENARIO_PACK
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps({"results_ops_per_sec": results}, indent=2,
+                     sort_keys=True))
+    print(f"\nmerged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

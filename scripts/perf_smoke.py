@@ -15,7 +15,10 @@ The gated set includes ``streaming_tx_per_sec`` -- the sustained simulated
 transactions the streaming subsystem commits per wall-clock second
 (``benchmarks/bench_streaming.py``) -- so a slowdown of the multi-epoch
 path (mempool, pipelining bookkeeping, checkpoint/GC) fails CI like any
-crypto or simulator hot-path regression.
+crypto or simulator hot-path regression, and its scenario-driven twin
+``scenario_stream_tx_per_sec`` (``benchmarks/bench_scenario.py``), which
+gates the overhead of the scenario controller's phase transitions and the
+fault-matching delivery path.
 
 Usage::
 
@@ -54,6 +57,7 @@ GATED_METRICS = (
     "sim_events",
     "dealer_domain_cached_n64",
     "streaming_tx_per_sec",
+    "scenario_stream_tx_per_sec",
 )
 MAX_REGRESSION = 2.0
 

@@ -20,6 +20,7 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.testbed": ["packs/*.json"]},
     install_requires=["numpy"],
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
 )

@@ -946,7 +946,9 @@ IMPROVEMENT = register(ExperimentSpec(
 
 
 # ---------------------------------------------------------------------------
-# Sustained-load family -- registered last so RESULTS.md keeps paper order
+# Sustained-load and scenario families -- registered last so RESULTS.md
+# keeps paper order
 # ---------------------------------------------------------------------------
 
 import repro.expts.load  # noqa: E402,F401  (registers load-sweep / streaming-pipeline)
+import repro.expts.scenario  # noqa: E402,F401  (registers scenario-robustness)

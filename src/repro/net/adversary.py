@@ -39,19 +39,23 @@ class DelayModel:
     ``base_jitter_s`` is the mean of an exponential jitter applied to every
     delivery; ``targeted`` maps ``(sender, receiver)`` pairs to an extra fixed
     delay (the adversary "arbitrarily prolonging the delay between messages of
-    two nodes"); ``max_delay_s`` caps the total so honest messages are
-    eventually delivered, as the model requires.
+    two nodes"); ``base_extra_s`` is a fixed delay added to *every* link (a
+    scenario-phase latency override -- satellite hops, congestion -- mutated
+    mid-run by the :class:`~repro.testbed.scenario_packs.ScenarioController`);
+    ``max_delay_s`` caps the total so honest messages are eventually
+    delivered, as the model requires.
     """
 
     base_jitter_s: float = 0.005
     targeted: dict[tuple[int, int], float] = field(default_factory=dict)
+    base_extra_s: float = 0.0
     max_delay_s: float = 30.0
 
     def delay(self, sender: int, receiver: int, rng) -> float:
         """Extra delivery delay for one frame on the (sender, receiver) link."""
         jitter = rng.expovariate(1.0 / self.base_jitter_s) if self.base_jitter_s > 0 else 0.0
         extra = self.targeted.get((sender, receiver), 0.0)
-        return min(jitter + extra, self.max_delay_s)
+        return min(jitter + extra + self.base_extra_s, self.max_delay_s)
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,11 @@ class LinkFaultSpec:
         if self.reorder_jitter_s < 0:
             raise ValueError(
                 f"reorder_jitter_s must be >= 0, got {self.reorder_jitter_s}")
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ValueError(
+                f"end_s must be > start_s ({self.start_s}), got {self.end_s}")
 
     def applies(self, sender: int, receiver: int, now: float) -> bool:
         """True if this fault is active for a delivery on the link right now."""
@@ -119,11 +128,19 @@ class PartitionSpec:
         if len(self.groups) < 2:
             raise ValueError("a partition needs at least two groups")
         seen: set[int] = set()
-        for group in self.groups:
+        for index, group in enumerate(self.groups):
+            if not group:
+                raise ValueError(f"groups[{index}] is empty; every partition "
+                                 f"group needs at least one node")
             overlap = seen & group
             if overlap:
                 raise ValueError(f"partition groups overlap on nodes {sorted(overlap)}")
             seen |= group
+        if self.start_s < 0:
+            raise ValueError(f"start_s must be >= 0, got {self.start_s}")
+        if self.heal_s is not None and self.heal_s <= self.start_s:
+            raise ValueError(
+                f"heal_s must be > start_s ({self.start_s}), got {self.heal_s}")
 
     def group_of(self, node_id: int) -> Optional[int]:
         """Index of the group containing ``node_id`` (None if unlisted)."""
@@ -134,14 +151,27 @@ class PartitionSpec:
 
     def separates(self, sender: int, receiver: int, now: float) -> bool:
         """True if the partition blocks sender -> receiver delivery now."""
+        return self.opinion(sender, receiver, now) is True
+
+    def opinion(self, sender: int, receiver: int,
+                now: float) -> Optional[bool]:
+        """This partition's verdict on the link, or None if it abstains.
+
+        A partition only has an opinion while active *and* when both
+        endpoints are listed in one of its groups: ``True`` means the link is
+        cut (different groups), ``False`` means the partition explicitly
+        keeps the link up (same group).  Abstention is what lets the
+        precedence rule in :meth:`AsyncAdversary.plan_delivery` compose
+        overlapping partitions deterministically.
+        """
         if now < self.start_s:
-            return False
+            return None
         if self.heal_s is not None and now >= self.heal_s:
-            return False
+            return None
         sender_group = self.group_of(sender)
         receiver_group = self.group_of(receiver)
         if sender_group is None or receiver_group is None:
-            return False
+            return None
         return sender_group != receiver_group
 
 
@@ -166,12 +196,27 @@ class AsyncAdversary:
         self.byzantine.add(node_id)
 
     def add_link_fault(self, fault: LinkFaultSpec) -> None:
-        """Install a message-level link fault."""
+        """Install a message-level link fault (mid-run installs are safe:
+        no RNG is drawn until the fault actually matches a delivery)."""
         self.link_faults.append(fault)
 
     def add_partition(self, partition: PartitionSpec) -> None:
         """Install a (transient) partition."""
         self.partitions.append(partition)
+
+    def remove_link_fault(self, fault: LinkFaultSpec) -> None:
+        """Retire an installed link fault (raises ValueError if absent).
+
+        Removal never perturbs the fault-free RNG stream -- an inactive
+        fault draws nothing -- so a scenario controller can install and
+        retire faults at phase boundaries without breaking bit-identity of
+        the surrounding deliveries.
+        """
+        self.link_faults.remove(fault)
+
+    def remove_partition(self, partition: PartitionSpec) -> None:
+        """Retire an installed partition (raises ValueError if absent)."""
+        self.partitions.remove(partition)
 
     def delivery_delay(self, sender: int, receiver: int, rng) -> float:
         """Delay added to one frame delivery (jitter + targeted only)."""
@@ -187,10 +232,27 @@ class AsyncAdversary:
         duplication.  All randomness is drawn from the caller-supplied
         (simulator) RNG, and no draws happen unless a fault actually matches
         the link, so fault-free runs keep a bit-identical RNG stream.
+
+        When several active partitions cover both endpoints, precedence is
+        deterministic and independent of install order *except* as a
+        tie-break: the covering partition with the latest ``start_s`` decides
+        the link (ties go to the most recently installed).  Partitions that
+        abstain -- inactive, or not listing both endpoints -- never override
+        one that has an opinion.  This is what makes layered scenario phases
+        well-defined: a later phase's partition supersedes an earlier one it
+        overlaps with instead of the two OR-ing into a surprise cut.
         """
+        opinion: Optional[bool] = None
+        opinion_start = -math.inf
         for partition in self.partitions:
-            if partition.separates(sender, receiver, now):
-                return []
+            verdict = partition.opinion(sender, receiver, now)
+            if verdict is None:
+                continue
+            if partition.start_s >= opinion_start:
+                opinion_start = partition.start_s
+                opinion = verdict
+        if opinion:
+            return []
         delays = [self.delay_model.delay(sender, receiver, rng)]
         for fault in self.link_faults:
             if not fault.applies(sender, receiver, now):

@@ -40,7 +40,14 @@ from repro.testbed.harness import (
     run_multihop_consensus,
     stable_seed,
 )
-from repro.testbed.invariants import InvariantVerdict, RunObserver, check_all
+from repro.testbed.invariants import (
+    InvariantVerdict,
+    RunObserver,
+    check_all,
+    check_ledger_continuity,
+    check_scenario_recovery,
+)
+from repro.testbed.scenario_packs import available_packs, load_pack
 from repro.testbed.scenarios import Scenario
 from repro.testbed.streaming import StreamingSpec, run_streaming_consensus
 from repro.testbed.workload import ArrivalSpec, WorkloadSpec
@@ -280,7 +287,11 @@ class CampaignCell:
     cell of that many epochs through ``run_streaming_consensus`` (open-loop
     arrivals, per-epoch invariant domains), which is how mid-stream faults
     -- a crash at epoch k, a partition healing across epochs -- are put
-    under conformance checking.
+    under conformance checking.  ``scenario`` names a shipped scenario pack
+    (``repro.testbed.scenario_packs``) of time-varying network phases to
+    drive during a streaming cell; scenario cells additionally gate on the
+    ledger-continuity and degradation/recovery invariants and record
+    per-phase metrics in their outcome.
     """
 
     protocol: str
@@ -289,6 +300,7 @@ class CampaignCell:
     flavor: str = "uniform"
     seed: int = 0
     stream_epochs: int = 0
+    scenario: str = ""
 
     def __post_init__(self) -> None:
         if self.fault not in FAULT_MODELS:
@@ -300,13 +312,22 @@ class CampaignCell:
         if FAULT_MODELS[self.fault].streaming_only and not self.stream_epochs:
             raise ValueError(f"fault model {self.fault!r} is streaming-only; "
                              f"set stream_epochs > 0")
+        if self.scenario:
+            if not self.stream_epochs:
+                raise ValueError(f"scenario {self.scenario!r} needs a "
+                                 f"streaming cell; set stream_epochs > 0")
+            if self.scenario not in available_packs():
+                raise ValueError(
+                    f"unknown scenario pack {self.scenario!r}; "
+                    f"shipped: {list(available_packs())}")
 
     @property
     def cell_id(self) -> str:
         """Stable human-readable identifier (also the replay key)."""
         stream = f"|stream{self.stream_epochs}" if self.stream_epochs else ""
+        scenario = f"|scn:{self.scenario}" if self.scenario else ""
         return (f"{self.protocol}|{self.topology.label}|{self.fault}"
-                f"|{self.flavor}|s{self.seed}{stream}")
+                f"|{self.flavor}|s{self.seed}{stream}{scenario}")
 
 
 @dataclass
@@ -329,6 +350,8 @@ class CellOutcome:
     channel_accesses: int
     collisions: int
     invariants: list[InvariantVerdict] = field(default_factory=list)
+    scenario: str = ""
+    phases: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         """JSON-stable representation (no wall-clock, no floats-as-NaN)."""
@@ -351,6 +374,8 @@ class CellOutcome:
             "invariants": [{"name": verdict.name, "ok": verdict.ok,
                             "detail": verdict.detail}
                            for verdict in self.invariants],
+            "scenario": self.scenario,
+            "phases": self.phases,
         }
 
 
@@ -405,6 +430,17 @@ STREAMING_QUICK_CELLS = (
     ("honeybadger-sc", TopologySpec.multi(4, 4), "none", "uniform", 2),
 )
 
+#: scenario quick cells: streaming runs driven by time-varying scenario
+#: packs (degraded middle phases, healed tail), each additionally judged by
+#: the ledger-continuity and degradation/recovery invariants
+SCENARIO_QUICK_CELLS = (
+    ("honeybadger-sc", TopologySpec.single(4), "uniform", 10,
+     "variable-link"),
+    ("beat", TopologySpec.single(4), "telemetry", 12, "burst-loss"),
+    ("dumbo-sc", TopologySpec.single(4), "task-allocation", 7,
+     "intermittent-connectivity"),
+)
+
 
 def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     """The bounded default matrix.
@@ -415,7 +451,9 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     -- plus the four large-n cells of :data:`SCALE_QUICK_CELLS` on the
     gateway-class scale profile and the four multi-epoch cells of
     :data:`STREAMING_QUICK_CELLS` (mid-stream crash, healing partition
-    spanning epochs, fault-free single-/multi-hop streams).  Full mode adds
+    spanning epochs, fault-free single-/multi-hop streams) and the three
+    scenario-pack cells of :data:`SCENARIO_QUICK_CELLS` (time-varying
+    degradation with recovery gates).  Full mode adds
     larger single-hop deployments (n=7, n=10) and a second seed per cell at
     uniform flavor on the fault models that scale with n, and a large-n
     sweep (scale profile, n=64 single-hop and 8x8 / 16x4 clustered) over
@@ -448,6 +486,12 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
             stream_epochs=epochs,
             seed=stable_seed(base_seed, protocol, topology.label, fault,
                              flavor, "stream", epochs)))
+    for protocol, topology, flavor, epochs, scenario in SCENARIO_QUICK_CELLS:
+        cells.append(CampaignCell(
+            protocol=protocol, topology=topology, fault="none", flavor=flavor,
+            stream_epochs=epochs, scenario=scenario,
+            seed=stable_seed(base_seed, protocol, topology.label, "none",
+                             flavor, "scenario", scenario, epochs)))
     if not quick:
         extra = CampaignSpec(
             topologies=(TopologySpec.single(7), TopologySpec.single(10)),
@@ -489,6 +533,11 @@ def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
     if fault.expect_decision:
         timeout = QUICK_TIMEOUT_S * fault.timeout_scale if quick \
             else scenario.timeout_s
+        if cell.scenario:
+            # The stream must be able to outlive the pack's degraded phases,
+            # so the budget covers the whole phase timeline plus the usual
+            # fault-free allowance for the healed tail.
+            timeout += load_pack(cell.scenario).total_duration_s
     else:
         timeout = NO_DECISION_TIMEOUT_S
     scenario = fault.apply(scenario.replace(timeout_s=timeout))
@@ -504,6 +553,11 @@ def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
                 f"fault model {fault.name!r} violates eventual delivery but "
                 f"expects a decision; set expect_decision=False or bound the "
                 f"fault window")
+        if cell.scenario and not load_pack(cell.scenario).eventual_delivery_holds():
+            raise ValueError(
+                f"scenario pack {cell.scenario!r} never heals (its final "
+                f"phase cuts or fully drops traffic) but the cell expects a "
+                f"decision; end the pack with a recovered phase")
     return scenario
 
 
@@ -519,6 +573,8 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
     scenario = build_cell_scenario(cell, quick=quick)
     sizes = QUICK_WORKLOAD if quick else FULL_WORKLOAD
     observer = RunObserver()
+    pack = load_pack(cell.scenario) if cell.scenario else None
+    phases: list[dict] = []
     if cell.stream_epochs:
         stream = StreamingSpec(
             epochs=cell.stream_epochs, batch_size=sizes["batch_size"],
@@ -527,7 +583,8 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
                                 flavor=cell.flavor,
                                 max_mempool=STREAM_MEMPOOL))
         result = run_streaming_consensus(cell.protocol, scenario, stream,
-                                         seed=cell.seed, observer=observer)
+                                         seed=cell.seed, observer=observer,
+                                         pack=pack)
         latency: Optional[float] = result.duration_s
         digest = result.ledger_digest
     else:
@@ -546,6 +603,24 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
     verdicts = check_all(
         observer, result.decided, fault.expect_decision, scenario.timeout_s,
         affected_domains=fault.affected_domains(cell.topology.is_multi_hop))
+    if pack is not None:
+        verdicts.append(check_ledger_continuity(result.per_epoch,
+                                                result.ledger_digest))
+        verdicts.append(check_scenario_recovery(result.per_epoch,
+                                                pack.heal_times()))
+        phases = [
+            {
+                "index": record.index,
+                "name": record.name,
+                "degraded": record.degraded,
+                "epochs": record.epochs,
+                "committed_transactions": record.committed_transactions,
+                "throughput_tps": round(record.throughput_tps, 6),
+                "p50_latency_s": round(record.p50_latency_s, 6),
+                "adversary_drops": record.adversary_drops,
+            }
+            for record in result.phases
+        ]
     if latency != latency:  # NaN (timed-out run): keep JSON clean
         latency = None
     return CellOutcome(
@@ -559,7 +634,9 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
         bytes_sent=result.bytes_sent,
         channel_accesses=result.channel_accesses,
         collisions=result.collisions,
-        invariants=verdicts)
+        invariants=verdicts,
+        scenario=cell.scenario,
+        phases=phases)
 
 
 def _run_cell_task(task: tuple) -> CellOutcome:
@@ -615,6 +692,8 @@ def campaign_report(outcomes: list[CellOutcome], base_seed: int,
             "topologies": sorted({outcome.topology for outcome in ordered}),
             "faults": sorted({outcome.fault for outcome in ordered}),
             "flavors": sorted({outcome.flavor for outcome in ordered}),
+            "scenarios": sorted({outcome.scenario for outcome in ordered
+                                 if outcome.scenario}),
         },
         "cells": [outcome.to_json() for outcome in ordered],
     }

@@ -23,9 +23,10 @@ the campaign engine aggregates into per-cell conformance reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.protocols.base import block_digest
+from repro.testbed.metrics import chain_digest, percentile
 
 #: how a recorded proposal was produced
 PROPOSAL_KINDS = ("honest", "garbage", "equivocation")
@@ -208,6 +209,81 @@ def check_liveness(observer: RunObserver, decided: bool,
             f"run decided={decided} with {len(affected)} honest decisions "
             f"despite quorum loss")
     return InvariantVerdict("no-decision-without-quorum", True)
+
+
+def check_ledger_continuity(per_epoch: Sequence[Any],
+                            ledger_digest: str) -> InvariantVerdict:
+    """The decided history is gap-free and the ledger digest re-derives.
+
+    ``per_epoch`` is a streaming run's
+    :class:`~repro.testbed.metrics.EpochRecord` list.  Three properties,
+    which together mean no scenario phase lost, duplicated or reordered an
+    epoch: epoch indices are contiguous from 0, every epoch carries a block
+    digest, and re-folding the per-epoch digests with the canonical chaining
+    rule reproduces the run's ledger digest byte for byte.
+    """
+    rebuilt = ""
+    for position, record in enumerate(per_epoch):
+        if record.epoch != position:
+            return InvariantVerdict(
+                "ledger-continuity", False,
+                f"epoch sequence has a gap: position {position} holds epoch "
+                f"{record.epoch}")
+        if not record.block_digest:
+            return InvariantVerdict(
+                "ledger-continuity", False,
+                f"epoch {record.epoch} checkpointed without a block digest")
+        rebuilt = chain_digest(rebuilt, record.block_digest)
+    if rebuilt != ledger_digest:
+        return InvariantVerdict(
+            "ledger-continuity", False,
+            f"rebuilt ledger digest {rebuilt[:16]}... != recorded "
+            f"{ledger_digest[:16]}...")
+    return InvariantVerdict("ledger-continuity", True)
+
+
+#: how many baseline (p50) epoch latencies after a heal the stream gets to
+#: produce its first post-heal epoch before recovery liveness is violated
+RECOVERY_EPOCH_BOUND = 3
+
+
+def check_scenario_recovery(per_epoch: Sequence[Any],
+                            heal_times: Sequence[float],
+                            bound_epochs: int = RECOVERY_EPOCH_BOUND) -> InvariantVerdict:
+    """Liveness is regained within bounded epochs after every phase heals.
+
+    For each ``heal_times`` entry ``T`` (the start of a non-degraded phase
+    that follows a degraded one), some completed epoch must *start* at or
+    after ``T``, and the first such epoch must start within ``bound_epochs``
+    baseline epoch latencies of ``T`` -- i.e. whatever epoch the degraded
+    phase left stalled in flight completes promptly once conditions heal,
+    instead of the stream limping indefinitely.  The baseline latency is the
+    p50 over all completed epochs (degraded epochs only inflate it, making
+    the bound conservative).  Vacuously true for packs with no heal
+    boundary.
+    """
+    if not heal_times:
+        return InvariantVerdict("scenario-recovery", True)
+    if not per_epoch:
+        return InvariantVerdict("scenario-recovery", False,
+                                "no epoch completed at all")
+    baseline = percentile([record.latency_s for record in per_epoch], 0.50)
+    allowance = bound_epochs * baseline
+    for heal_s in heal_times:
+        after = [record for record in per_epoch if record.start_s >= heal_s]
+        if not after:
+            return InvariantVerdict(
+                "scenario-recovery", False,
+                f"no epoch started after the phase healing at {heal_s}s")
+        first = min(after, key=lambda record: record.start_s)
+        if first.start_s - heal_s > allowance:
+            return InvariantVerdict(
+                "scenario-recovery", False,
+                f"first post-heal epoch {first.epoch} started "
+                f"{first.start_s - heal_s:.1f}s after the {heal_s}s heal "
+                f"(allowed {allowance:.1f}s = {bound_epochs} x p50 "
+                f"{baseline:.1f}s)")
+    return InvariantVerdict("scenario-recovery", True)
 
 
 def check_all(observer: RunObserver, decided: bool, expect_decision: bool,

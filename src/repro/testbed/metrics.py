@@ -9,10 +9,22 @@ aggregates that back the overhead analysis.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import statistics
 from dataclasses import dataclass, field
 from typing import Optional
+
+
+def chain_digest(previous: str, epoch_digest: str) -> str:
+    """Fold one epoch's block digest into a running ledger digest.
+
+    The canonical chaining rule shared by the streaming runner (which builds
+    the ledger digest incrementally) and the ledger-continuity invariant
+    checker (which rebuilds it from the per-epoch records to prove no epoch
+    was skipped or reordered across scenario phases).
+    """
+    return hashlib.sha256(f"{previous}|{epoch_digest}".encode()).hexdigest()
 
 
 def summarize_latencies(latencies: list[float]) -> dict[str, float]:
@@ -140,6 +152,33 @@ class EpochRecord:
 
 
 @dataclass
+class PhaseRecord:
+    """Per-phase outcome of a streaming run under a scenario pack.
+
+    One record per :class:`~repro.testbed.scenario_packs.ScenarioPhase`, with
+    epochs attributed to the phase containing their *start* time.
+    ``throughput_tps`` is committed transactions over the span from the first
+    attributed epoch's start to the last one's decide (boundary-robust: a
+    phase is not charged for an epoch that started under the previous
+    phase's conditions); ``adversary_drops`` is the delta of the network
+    trace's drop counter across the phase window, so partition cuts and
+    drop-rate faults both show up.  ``end_s`` is ``inf`` for the final phase
+    (it extends to the end of the stream).
+    """
+
+    index: int
+    name: str
+    start_s: float
+    end_s: float
+    degraded: bool
+    epochs: int
+    committed_transactions: int
+    throughput_tps: float
+    p50_latency_s: float
+    adversary_drops: int
+
+
+@dataclass
 class StreamingRunResult:
     """Outcome of a multi-epoch streaming (sustained-load) run.
 
@@ -173,6 +212,10 @@ class StreamingRunResult:
     collisions: int = 0
     sim_events: int = 0
     seed: int = 0
+    #: name of the scenario pack driving time-varying conditions ("" = none)
+    scenario: str = ""
+    #: per-phase summaries when a scenario pack was active (else empty)
+    phases: list[PhaseRecord] = field(default_factory=list)
 
     @property
     def per_epoch_digests(self) -> tuple:

@@ -56,7 +56,6 @@ fewer arrivals are buffered.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import statistics
 from dataclasses import dataclass, field, replace
@@ -72,7 +71,8 @@ from repro.testbed.harness import (
     propose_epoch,
 )
 from repro.testbed.invariants import RunObserver
-from repro.testbed.metrics import EpochRecord, StreamingRunResult
+from repro.testbed.metrics import EpochRecord, StreamingRunResult, chain_digest
+from repro.testbed.scenario_packs import ScenarioController, ScenarioPack
 from repro.testbed.scenarios import Scenario
 from repro.testbed.workload import (
     ArrivalSpec,
@@ -210,9 +210,9 @@ class Mempool:
         self._pool = refilled
 
 
-def _chain_digest(previous: str, epoch_digest: str) -> str:
-    """Fold one epoch's block digest into the running ledger digest."""
-    return hashlib.sha256(f"{previous}|{epoch_digest}".encode()).hexdigest()
+#: the canonical digest-chaining rule lives in metrics so the
+#: ledger-continuity invariant checker can rebuild the chain independently
+_chain_digest = chain_digest
 
 
 class StreamingRun:
@@ -222,7 +222,8 @@ class StreamingRun:
     def __init__(self, protocol: str, scenario: Scenario, spec: StreamingSpec,
                  batched: bool = True, seed: int = 0,
                  config: Optional[ConsensusConfig] = None,
-                 observer: Optional[RunObserver] = None) -> None:
+                 observer: Optional[RunObserver] = None,
+                 pack: Optional[ScenarioPack] = None) -> None:
         self.protocol = protocol
         self.scenario = scenario
         self.spec = spec
@@ -230,6 +231,7 @@ class StreamingRun:
         self.seed = seed
         self.base_config = config or ConsensusConfig()
         self.observer = observer
+        self.pack = pack
         byzantine = scenario.byzantine
         if (byzantine.nodes_with("epoch-crash")
                 and byzantine.crash_at_epoch >= spec.epochs):
@@ -251,6 +253,9 @@ class StreamingRun:
                 scenario, batched=batched, seed=seed,
                 crypto_schemes=crypto_schemes_for_protocol(
                     protocol, self.base_config))
+        #: time-varying network conditions (None = static scenario only)
+        self.controller = ScenarioController(pack, self.deployment) \
+            if pack is not None else None
         self.arrivals = OpenLoopArrivals(spec.arrival, scenario.num_nodes,
                                          seed=seed)
         self.mempools = {node_id: Mempool(spec.arrival.max_mempool)
@@ -525,6 +530,8 @@ class StreamingRun:
     def run(self) -> StreamingRunResult:
         """Execute the stream to completion (or the scenario timeout)."""
         deployment = self.deployment
+        if self.controller is not None:
+            self.controller.install()
         for node_id in sorted(self.mempools):
             # Warmup: the first `warmup` arrivals of each stream are already
             # buffered when the stream starts (clients queued offline).
@@ -562,14 +569,18 @@ class StreamingRun:
             bytes_sent=deployment.trace.total_bytes_sent,
             collisions=deployment.trace.total_collisions,
             sim_events=deployment.sim.events_processed,
-            seed=self.seed)
+            seed=self.seed,
+            scenario=self.pack.name if self.pack is not None else "",
+            phases=self.controller.phase_records(self.records)
+            if self.controller is not None else [])
 
 
 def run_streaming_consensus(protocol: str, scenario: Scenario,
                             spec: Optional[StreamingSpec] = None,
                             batched: bool = True, seed: int = 0,
                             config: Optional[ConsensusConfig] = None,
-                            observer: Optional[RunObserver] = None) -> StreamingRunResult:
+                            observer: Optional[RunObserver] = None,
+                            pack: Optional[ScenarioPack] = None) -> StreamingRunResult:
     """Run ``spec.epochs`` back-to-back consensus epochs under open-loop load.
 
     The fifth harness entry point.  Works on single-hop *and* multi-hop
@@ -590,6 +601,12 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
             per-epoch domains (``("epoch", e)``, or ``("epoch", e,
             "cluster", c)`` / ``("epoch", e, "global")`` for multi-hop), so
             the campaign invariant checkers judge every epoch independently.
+        pack: an optional :class:`~repro.testbed.scenario_packs.ScenarioPack`
+            of time-varying network conditions, applied from simulator time
+            by a :class:`~repro.testbed.scenario_packs.ScenarioController`;
+            the result then carries per-phase throughput/latency/drop
+            summaries in ``phases``.  The caller is responsible for a
+            ``scenario.timeout_s`` that covers the pack's timeline.
 
     Returns a :class:`~repro.testbed.metrics.StreamingRunResult`; all times
     are virtual seconds and ``throughput_tps`` is committed transactions per
@@ -602,4 +619,4 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
     if scenario.num_nodes < 1:
         raise DeploymentError("streaming needs at least one node")
     return StreamingRun(protocol, scenario, spec, batched=batched, seed=seed,
-                        config=config, observer=observer).run()
+                        config=config, observer=observer, pack=pack).run()

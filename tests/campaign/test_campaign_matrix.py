@@ -8,9 +8,16 @@ invariants.  Excluded from tier-1 by the ``campaign`` marker; run with::
     PYTHONPATH=src python -m pytest -m campaign -q
 """
 
+import json
+
 import pytest
 
-from repro.testbed.campaign import default_cells, run_cell
+from repro.testbed.campaign import (
+    campaign_report,
+    default_cells,
+    run_cell,
+    run_matrix,
+)
 
 CELLS = default_cells(quick=True)
 
@@ -42,3 +49,24 @@ def test_cell_replay_is_deterministic():
     first = run_cell(cell, quick=True)
     second = run_cell(cell, quick=True)
     assert first.to_json() == second.to_json()
+
+
+@pytest.mark.campaign
+def test_scenario_cells_byte_stable_across_worker_counts():
+    # The scenario cells' per-phase metrics and verdicts must serialize to
+    # the identical CAMPAIGN.json fragment whether the matrix runs serially
+    # or across worker processes.
+    cells = [cell for cell in CELLS if cell.scenario]
+    assert len(cells) == 3, [cell.cell_id for cell in cells]
+    serial = run_matrix(cells, quick=True, workers=1)
+    parallel = run_matrix(cells, quick=True, workers=3)
+    serial_doc = json.dumps(campaign_report(serial, base_seed=0, quick=True),
+                            sort_keys=True)
+    parallel_doc = json.dumps(campaign_report(parallel, base_seed=0,
+                                              quick=True), sort_keys=True)
+    assert serial_doc == parallel_doc
+    for outcome in serial:
+        assert outcome.ok and outcome.decided, outcome.to_json()
+        assert outcome.phases, outcome.cell_id
+        assert {"ledger-continuity", "scenario-recovery"} <= {
+            verdict.name for verdict in outcome.invariants}

@@ -26,6 +26,10 @@ CASES = [
      "global"),
     ("batching_anatomy.py", [],
      "NACK"),
+    ("scenario_replay.py", ["--epochs", "8"],
+     "invariant scenario-recovery: ok"),
+    ("scenario_replay.py", ["--list"],
+     "variable-link"),
 ]
 
 

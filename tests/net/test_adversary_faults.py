@@ -35,6 +35,14 @@ class TestLinkFaultSpec:
         assert fault.applies(0, 1, 0.0)
         assert fault.applies(99, 7, 1e6)
 
+    def test_window_validation_names_offending_field(self):
+        with pytest.raises(ValueError, match="start_s"):
+            LinkFaultSpec(drop_rate=0.1, start_s=-1.0)
+        with pytest.raises(ValueError, match="end_s"):
+            LinkFaultSpec(drop_rate=0.1, start_s=10.0, end_s=5.0)
+        with pytest.raises(ValueError, match="end_s"):
+            LinkFaultSpec(drop_rate=0.1, start_s=10.0, end_s=10.0)
+
 
 class TestPartitionSpec:
     def test_validation(self):
@@ -42,6 +50,15 @@ class TestPartitionSpec:
             PartitionSpec(groups=(frozenset({0, 1}),))
         with pytest.raises(ValueError):
             PartitionSpec(groups=(frozenset({0, 1}), frozenset({1, 2})))
+
+    def test_window_validation_names_offending_field(self):
+        groups = (frozenset({0}), frozenset({1}))
+        with pytest.raises(ValueError, match="groups"):
+            PartitionSpec(groups=(frozenset({0}), frozenset()))
+        with pytest.raises(ValueError, match="start_s"):
+            PartitionSpec(groups=groups, start_s=-2.0)
+        with pytest.raises(ValueError, match="heal_s"):
+            PartitionSpec(groups=groups, start_s=10.0, heal_s=10.0)
 
     def test_separates_only_across_groups_while_active(self):
         partition = PartitionSpec(groups=(frozenset({0, 1}), frozenset({2, 3})),
@@ -58,6 +75,16 @@ class TestPartitionSpec:
         assert partition.group_of(0) == 0
         assert partition.group_of(1) == 1
         assert partition.group_of(5) is None
+
+    def test_opinion_abstains_when_inactive_or_not_covering(self):
+        partition = PartitionSpec(groups=(frozenset({0}), frozenset({1})),
+                                  start_s=5.0, heal_s=15.0)
+        assert partition.opinion(0, 1, 10.0) is True
+        assert partition.opinion(0, 1, 0.0) is None      # not started
+        assert partition.opinion(0, 1, 15.0) is None     # healed
+        assert partition.opinion(0, 9, 10.0) is None     # node 9 unlisted
+        same = PartitionSpec(groups=(frozenset({0, 1}), frozenset({2})))
+        assert same.opinion(0, 1, 0.0) is False          # explicitly together
 
 
 class TestPlanDelivery:
@@ -99,6 +126,53 @@ class TestPlanDelivery:
         plans_b = [adversary.plan_delivery(0, 1, 0.0, random.Random(7))
                    for _ in range(5)]
         assert plans_a == plans_b
+
+    def test_overlapping_partitions_latest_start_wins(self):
+        # An older partition separates 0|1; a later one groups them back
+        # together -- the later opinion must win while both are active.
+        cut = PartitionSpec(groups=(frozenset({0}), frozenset({1})),
+                            start_s=0.0, heal_s=100.0)
+        rejoin = PartitionSpec(groups=(frozenset({0, 1}), frozenset({2})),
+                               start_s=10.0, heal_s=50.0)
+        adversary = self.adversary(partitions=[cut, rejoin])
+        assert adversary.plan_delivery(0, 1, 5.0, random.Random(0)) == []
+        assert adversary.plan_delivery(0, 1, 20.0, random.Random(0)) == [0.0]
+        # after the later partition heals, the older cut applies again
+        assert adversary.plan_delivery(0, 1, 60.0, random.Random(0)) == []
+
+    def test_overlapping_partitions_tie_breaks_by_install_order(self):
+        # Equal start times: the most recently installed partition wins.
+        early = PartitionSpec(groups=(frozenset({0}), frozenset({1})),
+                              start_s=0.0, heal_s=100.0)
+        override = PartitionSpec(groups=(frozenset({0, 1}), frozenset({2})),
+                                 start_s=0.0, heal_s=100.0)
+        adversary = self.adversary(partitions=[early, override])
+        assert adversary.plan_delivery(0, 1, 5.0, random.Random(0)) == [0.0]
+        flipped = self.adversary(partitions=[override, early])
+        assert flipped.plan_delivery(0, 1, 5.0, random.Random(0)) == []
+
+    def test_abstaining_partition_defers_to_separating_one(self):
+        # A later partition that does not list both endpoints must not mask
+        # an earlier one that cuts them.
+        cut = PartitionSpec(groups=(frozenset({0}), frozenset({1})),
+                            start_s=0.0, heal_s=100.0)
+        unrelated = PartitionSpec(groups=(frozenset({2}), frozenset({3})),
+                                  start_s=10.0, heal_s=100.0)
+        adversary = self.adversary(partitions=[cut, unrelated])
+        assert adversary.plan_delivery(0, 1, 20.0, random.Random(0)) == []
+
+    def test_remove_apis(self):
+        fault = LinkFaultSpec(drop_rate=1.0)
+        partition = PartitionSpec(groups=(frozenset({0}), frozenset({1})))
+        adversary = self.adversary(link_faults=[fault],
+                                   partitions=[partition])
+        adversary.remove_link_fault(fault)
+        adversary.remove_partition(partition)
+        assert adversary.plan_delivery(0, 1, 0.0, random.Random(0)) == [0.0]
+        with pytest.raises(ValueError):
+            adversary.remove_link_fault(fault)
+        with pytest.raises(ValueError):
+            adversary.remove_partition(partition)
 
     def test_fault_free_stream_matches_legacy_delay(self):
         # With no faults installed, plan_delivery must consume exactly the
