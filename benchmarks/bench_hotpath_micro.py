@@ -43,6 +43,7 @@ from bench_scale_setup import (  # noqa: E402
 from bench_scenario import SCENARIO_PACK, bench_scenario  # noqa: E402
 from bench_streaming import STREAM_EPOCHS, bench_streaming  # noqa: E402
 from repro.components import erasure  # noqa: E402
+from repro.crypto import backend as crypto_backend  # noqa: E402
 from repro.crypto.group import (  # noqa: E402
     DEFAULT_GROUP,
     verify_dlog_equality_reference,
@@ -218,6 +219,69 @@ def bench_erasure(budget: float) -> dict[str, float]:
     }
 
 
+# -------------------------------------------------------------- native backend
+def bench_native_backend(budget: float) -> dict[str, float]:
+    """The same combine/erasure/streaming work under the native backend.
+
+    Runs with ``repro.crypto.backend`` forced to ``auto`` (best available
+    tier): with gmpy2 or the libgmp shim plus numpy present these entries
+    record the vectorized hot paths; in a pure-only environment they
+    degenerate to the pure rates, so the ``*_native_vs_pure`` speedups
+    honestly report ~1x rather than being silently omitted.  Results are
+    asserted bit-identical to the pure path before timing starts.
+    """
+    rng = random.Random(2002)
+    schemes = deal_threshold_sig(NUM_PARTIES, THRESHOLD, rng)
+    public_key = schemes[0].public_key
+    counter = [0]
+
+    def make_batch() -> tuple[bytes, list]:
+        counter[0] += 1
+        message = b"hotpath-native-%d" % counter[0]
+        return message, [scheme.sign_share(message, rng)
+                         for scheme in schemes[:THRESHOLD]]
+
+    def combine(batch: tuple[bytes, list]) -> int:
+        message, shares = batch
+        public_key.combine(message, shares)
+        return 1
+
+    payload_rng = random.Random(3003)
+    payload = bytes(payload_rng.randrange(256) for _ in range(ERASURE_PAYLOAD))
+
+    with crypto_backend.use("pure"):
+        identity_batch = make_batch()
+        pure_signature = public_key.combine(*identity_batch)
+        pure_blocks = erasure.encode_blocks(payload, ERASURE_K, ERASURE_N)
+        pure_payload = erasure.decode_blocks(pure_blocks[8:8 + ERASURE_K])
+
+    with crypto_backend.use("auto"):
+        # backend switches must never change results -- pinned by
+        # tests/crypto/test_backend.py, double-checked here off the clock.
+        assert public_key.combine(*identity_batch) == pure_signature
+        blocks = erasure.encode_blocks(payload, ERASURE_K, ERASURE_N)
+        selection = blocks[8:8 + ERASURE_K]
+        assert [b.values for b in blocks] == [b.values for b in pure_blocks]
+        assert erasure.decode_blocks(selection) == pure_payload == payload
+
+        def encode_op() -> int:
+            erasure.encode_blocks(payload, ERASURE_K, ERASURE_N)
+            return 1
+
+        def decode_op() -> int:
+            erasure.decode_blocks(selection)
+            return 1
+
+        results = {
+            "share_combine_native": _rate_prepared(make_batch, combine, budget),
+            "erasure_encode_native_k32": _rate(encode_op, budget),
+            "erasure_decode_native_k32": _rate(decode_op, budget),
+        }
+        streaming = bench_streaming(budget)
+        results["streaming_tx_per_sec_native"] = streaming["streaming_tx_per_sec"]
+    return results
+
+
 # ------------------------------------------------------------------- simulator
 @dataclass(order=True)
 class _SeedEvent:
@@ -277,10 +341,15 @@ def run_benchmarks(quick: bool = False) -> dict:
     """Run every micro-benchmark; returns the JSON-ready document."""
     budget = 0.15 if quick else 1.0
     results: dict[str, float] = {}
-    for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
-                    bench_simulator, bench_dealer, bench_streaming,
-                    bench_scenario):
-        results.update(section(budget))
+    # The classic sections run pinned to the pure backend so the recorded
+    # trajectory never depends on what happens to be installed; the native
+    # section then re-measures its hot paths under the best available tier.
+    with crypto_backend.use("pure"):
+        for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
+                        bench_simulator, bench_dealer, bench_streaming,
+                        bench_scenario):
+            results.update(section(budget))
+    results.update(bench_native_backend(budget))
     speedups = dealer_speedups(results)
     speedups |= {
         "group_exp_fixed_base_vs_pow":
@@ -295,6 +364,15 @@ def run_benchmarks(quick: bool = False) -> dict:
             results["erasure_decode_k32"] / results["erasure_decode_seed_k32"],
         "sim_events_vs_seed":
             results["sim_events"] / results["sim_events_seed"],
+        "share_combine_native_vs_pure":
+            results["share_combine_native"] / results["share_combine"],
+        "erasure_encode_native_vs_pure":
+            results["erasure_encode_native_k32"] / results["erasure_encode_k32"],
+        "erasure_decode_native_vs_pure":
+            results["erasure_decode_native_k32"] / results["erasure_decode_k32"],
+        "streaming_native_vs_pure":
+            results["streaming_tx_per_sec_native"] /
+            results["streaming_tx_per_sec"],
     }
     return {
         "schema": "repro-hotpath-bench/v1",
@@ -309,6 +387,7 @@ def run_benchmarks(quick: bool = False) -> dict:
             "erasure_k": ERASURE_K,
             "erasure_n": ERASURE_N,
             "erasure_payload_bytes": ERASURE_PAYLOAD,
+            "backend": crypto_backend.backend_info(),
         },
         "results_ops_per_sec": {key: round(value, 2)
                                 for key, value in results.items()},

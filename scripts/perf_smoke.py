@@ -1,28 +1,40 @@
 #!/usr/bin/env python
-"""Perf smoke test: fail loudly if a hot path regressed versus the baseline.
+"""Perf smoke test: fail loudly if a hot path regressed.
 
-Runs the hot-path micro-benchmarks in quick mode (well under 60 seconds),
-compares throughput against the recorded ``BENCH_hotpath.json`` at the repo
-root, and exits non-zero if
+Two modes with distinct gates:
 
-* any key metric is more than 2x slower than the recorded baseline, or
-* a tentpole invariant no longer holds (batched share verification >= 3x the
-  seed per-share path at n=16/t=5; erasure decode >= 5x the seed
-  implementation at k=32; a dealer-cache hit >= 5x a fresh n=64 domain
-  deal).
+**Quick mode (default, well under 60 seconds)** runs the micro-benchmarks
+with short budgets and checks *same-run ratio invariants* only:
 
-The gated set includes ``streaming_tx_per_sec`` -- the sustained simulated
-transactions the streaming subsystem commits per wall-clock second
-(``benchmarks/bench_streaming.py``) -- so a slowdown of the multi-epoch
-path (mempool, pipelining bookkeeping, checkpoint/GC) fails CI like any
-crypto or simulator hot-path regression, and its scenario-driven twin
-``scenario_stream_tx_per_sec`` (``benchmarks/bench_scenario.py``), which
-gates the overhead of the scenario controller's phase transitions and the
-fault-matching delivery path.
+* batched share verification >= 3x the seed per-share path (n=16/t=5);
+* erasure decode >= 5x the seed implementation (k=32);
+* a dealer-cache hit >= 5x a fresh n=64 domain deal;
+* with a native backend tier available, the native share combine >= 3x and
+  the native erasure decode >= 5x their same-run pure rates.
+
+Quick-mode timings are never compared against the recorded baseline:
+``BENCH_hotpath.json`` is recorded with full budgets, and comparing a
+short-budget run against it used to flag phantom regressions whenever the
+quick run landed slow (the warmup fraction dominates sub-second budgets).
+
+**Full mode (``--full``, a few minutes)** reruns with the same budgets the
+baseline was recorded with, so absolute comparisons are meaningful.  It
+applies every quick-mode invariant plus
+
+* no gated metric more than 2x slower than ``BENCH_hotpath.json``, and
+* the native-backend acceptance floors: share combine >= 5x and erasure
+  decode >= 5x the pre-backend recorded rates (only enforced when a native
+  tier is available -- a pure-only environment cannot hit them and is not
+  expected to).
+
+The streaming gates (``streaming_tx_per_sec``,
+``scenario_stream_tx_per_sec``) ride in the gated set so a slowdown of the
+multi-epoch path (mempool, pipelining bookkeeping, checkpoint/GC) or the
+scenario controller fails like any crypto or simulator hot-path regression.
 
 Usage::
 
-    python scripts/perf_smoke.py [--baseline PATH]
+    python scripts/perf_smoke.py [--full] [--baseline PATH]
 
 The baseline is only read, never written; refresh it by running
 ``python benchmarks/bench_hotpath_micro.py`` after an intentional change.
@@ -43,17 +55,19 @@ for path in (os.path.join(_ROOT, "src"), os.path.join(_ROOT, "benchmarks")):
 
 import bench_hotpath_micro  # noqa: E402
 
-# Metrics gated against the baseline.  Quick-mode timings are noisy, so the
-# regression threshold is a generous 2x; real regressions on these paths
-# (a dropped cache, an accidental O(k^3) decode) overshoot it by far.
+# Metrics gated against the baseline in full mode.  Full-mode timings still
+# jitter, so the regression threshold is a generous 2x; real regressions on
+# these paths (a dropped cache, an accidental O(k^3) decode) overshoot it.
 GATED_METRICS = (
     "group_exp_fixed_base",
     "share_sign",
     "share_verify_single",
     "share_verify_batch",
     "share_combine",
+    "share_combine_native",
     "erasure_encode_k32",
     "erasure_decode_k32",
+    "erasure_decode_native_k32",
     "sim_events",
     "dealer_domain_cached_n64",
     "streaming_tx_per_sec",
@@ -61,23 +75,28 @@ GATED_METRICS = (
 )
 MAX_REGRESSION = 2.0
 
-# Tentpole invariants that must hold regardless of the baseline file.
+# Same-run ratio invariants (both modes, baseline-independent).
 MIN_BATCH_VS_SEED = 3.0
 MIN_DECODE_VS_SEED = 5.0
 MIN_DEALER_CACHE = 5.0
+MIN_COMBINE_NATIVE_VS_PURE = 3.0
+MIN_DECODE_NATIVE_VS_PURE = 5.0
+
+# Native acceptance floors (full mode): >= 5x the hot-path rates recorded in
+# BENCH_hotpath.json immediately before the native backend landed.  Absolute
+# ops/s, so they are specific to the machine the baseline history was
+# recorded on -- like the baseline file itself.
+PRE_BACKEND_RATES = {
+    "share_combine_native": 457.44,     # pure share_combine, pre-backend
+    "erasure_decode_native_k32": 225.71,  # pure erasure_decode_k32
+}
+MIN_NATIVE_VS_PRE_BACKEND = 5.0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--baseline",
-                        default=bench_hotpath_micro.DEFAULT_OUTPUT,
-                        help="recorded BENCH_hotpath.json to compare against")
-    args = parser.parse_args(argv)
-
-    document = bench_hotpath_micro.run_benchmarks(quick=True)
-    current = document["results_ops_per_sec"]
+def _check_ratio_invariants(document: dict, failures: list[str]) -> None:
+    """Same-run speedup gates that hold in quick and full mode alike."""
     speedups = document["speedups"]
-    failures: list[str] = []
+    backend_info = document["config"].get("backend", {})
 
     if speedups["share_verify_batch_vs_seed"] < MIN_BATCH_VS_SEED:
         failures.append(
@@ -93,13 +112,35 @@ def main(argv: list[str] | None = None) -> int:
             f"dealer-cache hit only {speedups['dealer_cache_vs_fresh']:.2f}x "
             f"a fresh n=64 domain deal (need >= {MIN_DEALER_CACHE}x)")
 
-    if not os.path.exists(args.baseline):
+    if backend_info.get("native_bigint_available"):
+        if speedups["share_combine_native_vs_pure"] < \
+                MIN_COMBINE_NATIVE_VS_PURE:
+            failures.append(
+                f"native share combine only "
+                f"{speedups['share_combine_native_vs_pure']:.2f}x the pure "
+                f"path (need >= {MIN_COMBINE_NATIVE_VS_PURE}x)")
+    if backend_info.get("native_matrix_available"):
+        if speedups["erasure_decode_native_vs_pure"] < \
+                MIN_DECODE_NATIVE_VS_PURE:
+            failures.append(
+                f"native erasure decode only "
+                f"{speedups['erasure_decode_native_vs_pure']:.2f}x the pure "
+                f"path (need >= {MIN_DECODE_NATIVE_VS_PURE}x)")
+
+
+def _check_full_mode_gates(document: dict, baseline_path: str,
+                           failures: list[str]) -> None:
+    """Absolute gates: baseline regressions and native acceptance floors."""
+    current = document["results_ops_per_sec"]
+    backend_info = document["config"].get("backend", {})
+
+    if not os.path.exists(baseline_path):
         failures.append(
-            f"no baseline at {args.baseline}; run "
+            f"no baseline at {baseline_path}; run "
             f"'python benchmarks/bench_hotpath_micro.py' to record one")
         baseline_results = {}
     else:
-        with open(args.baseline, encoding="utf-8") as handle:
+        with open(baseline_path, encoding="utf-8") as handle:
             baseline_results = json.load(handle).get("results_ops_per_sec", {})
 
     print(f"{'metric':<32}{'baseline':>14}{'current':>14}{'ratio':>8}")
@@ -115,6 +156,44 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"{metric} regressed {1.0 / ratio:.2f}x "
                 f"({then:.1f} -> {now:.1f} ops/s, allowed {MAX_REGRESSION}x)")
+
+    if backend_info.get("native_bigint_available"):
+        for metric, pre_backend in PRE_BACKEND_RATES.items():
+            floor = pre_backend * MIN_NATIVE_VS_PRE_BACKEND
+            now = current.get(metric)
+            if now is None:
+                failures.append(f"{metric} missing from benchmark results")
+            elif now < floor:
+                failures.append(
+                    f"{metric} at {now:.1f} ops/s is below the native "
+                    f"acceptance floor {floor:.1f} "
+                    f"({MIN_NATIVE_VS_PRE_BACKEND}x the pre-backend "
+                    f"{pre_backend:.1f})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--baseline",
+                        default=bench_hotpath_micro.DEFAULT_OUTPUT,
+                        help="recorded BENCH_hotpath.json to compare against")
+    parser.add_argument("--full", action="store_true",
+                        help="run full budgets and apply the absolute gates "
+                             "(baseline comparison, native floors); the "
+                             "default quick mode checks same-run ratio "
+                             "invariants only")
+    args = parser.parse_args(argv)
+
+    document = bench_hotpath_micro.run_benchmarks(quick=not args.full)
+    failures: list[str] = []
+
+    _check_ratio_invariants(document, failures)
+    if args.full:
+        _check_full_mode_gates(document, args.baseline, failures)
+    else:
+        print("quick mode: same-run ratio invariants only "
+              "(use --full for baseline and native-floor gates)")
+        for name, value in sorted(document["speedups"].items()):
+            print(f"  {name:<38}{value:>8.2f}x")
 
     if failures:
         print("\nPERF SMOKE FAILED:", file=sys.stderr)

@@ -1,0 +1,78 @@
+/* Minimal libgmp shim for the native crypto backend.
+ *
+ * Compiled on demand by repro.crypto.backend.gmp (gcc -O2 -shared -fPIC
+ * -lgmp); never required -- the pure-Python fastpath is always available.
+ *
+ * All values cross the boundary as fixed-width big-endian byte strings of
+ * `size` bytes (the modulus width), which keeps the Python-side marshalling
+ * to a single int.to_bytes / int.from_bytes per operand.
+ */
+#include <gmp.h>
+#include <stddef.h>
+
+static void export_fixed(unsigned char *dst, int size, const mpz_t value) {
+    size_t count = 0;
+    size_t bytes = (mpz_sizeinbase(value, 2) + 7) / 8;
+    if (mpz_sgn(value) == 0) bytes = 0;
+    for (int j = 0; j < size; j++) dst[j] = 0;
+    /* right-align the export inside the fixed-width slot */
+    mpz_export(dst + (size - bytes), &count, 1, 1, 1, 0, value);
+}
+
+/* out[i] = bases[i] ^ exps[i] mod mod */
+void repro_powm_array(int n, int size, const unsigned char *bases,
+                      const unsigned char *exps, const unsigned char *mod,
+                      unsigned char *out) {
+    mpz_t m, b, e, r;
+    mpz_inits(m, b, e, r, NULL);
+    mpz_import(m, size, 1, 1, 1, 0, mod);
+    for (int i = 0; i < n; i++) {
+        mpz_import(b, size, 1, 1, 1, 0, bases + (size_t)i * size);
+        mpz_import(e, size, 1, 1, 1, 0, exps + (size_t)i * size);
+        mpz_powm(r, b, e, m);
+        export_fixed(out + (size_t)i * size, size, r);
+    }
+    mpz_clears(m, b, e, r, NULL);
+}
+
+/* out = prod bases[i] ^ exps[i] mod mod
+ *
+ * A per-term mpz_powm loop deliberately: a Straus/interleaved multi-exp
+ * shares one squaring chain across terms, but GMP's public API exposes no
+ * Montgomery arithmetic, so each shared-chain step pays a full division
+ * (mpz_mod) where mpz_powm pays a REDC step internally.  Measured on the
+ * batch-verify workload (12 64-bit randomizer exponents + 8 full-width
+ * terms) the windowed variant broke even at best; the loop also keeps
+ * 64-bit exponents on mpz_powm's cheap path.
+ */
+void repro_multi_powm(int n, int size, const unsigned char *bases,
+                      const unsigned char *exps, const unsigned char *mod,
+                      unsigned char *out) {
+    mpz_t m, b, e, r, acc;
+    mpz_inits(m, b, e, r, acc, NULL);
+    mpz_import(m, size, 1, 1, 1, 0, mod);
+    mpz_set_ui(acc, 1);
+    mpz_mod(acc, acc, m);
+    for (int i = 0; i < n; i++) {
+        mpz_import(b, size, 1, 1, 1, 0, bases + (size_t)i * size);
+        mpz_import(e, size, 1, 1, 1, 0, exps + (size_t)i * size);
+        mpz_powm(r, b, e, m);
+        mpz_mul(acc, acc, r);
+        mpz_mod(acc, acc, m);
+    }
+    export_fixed(out, size, acc);
+    mpz_clears(m, b, e, r, acc, NULL);
+}
+
+/* out[i] = jacobi(values[i] | mod); mod must be odd and positive */
+void repro_jacobi_array(int n, int size, const unsigned char *values,
+                        const unsigned char *mod, signed char *out) {
+    mpz_t m, v;
+    mpz_inits(m, v, NULL);
+    mpz_import(m, size, 1, 1, 1, 0, mod);
+    for (int i = 0; i < n; i++) {
+        mpz_import(v, size, 1, 1, 1, 0, values + (size_t)i * size);
+        out[i] = (signed char)mpz_jacobi(v, m);
+    }
+    mpz_clears(m, v, NULL);
+}

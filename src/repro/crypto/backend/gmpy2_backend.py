@@ -1,0 +1,82 @@
+"""gmpy2-backed big-integer tier (the preferred native tier when installed).
+
+gmpy2 wraps libgmp with near-zero per-call overhead, so when the optional
+``repro[native]`` extra is installed this tier beats both ctypes-based GMP
+tiers.  It is probed first and skipped silently when the import fails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class Gmpy2Bigint:
+    """Big-integer primitives via :mod:`gmpy2`."""
+
+    name = "gmpy2"
+
+    def __init__(self, gmpy2) -> None:
+        self._gmpy2 = gmpy2
+        self._mpz = gmpy2.mpz
+        self._powmod = gmpy2.powmod
+        self._jacobi = gmpy2.jacobi
+
+    def powm(self, base: int, exponent: int, modulus: int) -> int:
+        if exponent < 0:
+            raise ValueError("powm requires a non-negative exponent")
+        if modulus <= 0:
+            return pow(base, exponent, modulus)
+        return int(self._powmod(self._mpz(base), exponent, modulus))
+
+    def multi_powm(self, pairs: Sequence[tuple[int, int]],
+                   modulus: int) -> int:
+        if modulus <= 0:
+            raise ValueError("multi_powm requires a positive modulus")
+        if not pairs:
+            return 1 % modulus
+        mpz = self._mpz
+        powmod = self._powmod
+        mod = mpz(modulus)
+        acc = mpz(1) % mod
+        for base, exponent in pairs:
+            if exponent < 0:
+                raise ValueError("multi_exp requires non-negative exponents")
+            acc = acc * powmod(mpz(base), exponent, mod) % mod
+        return int(acc)
+
+    def powm_many(self, pairs: Sequence[tuple[int, int]],
+                  modulus: int) -> list[int]:
+        if modulus <= 0:
+            raise ValueError("powm_many requires a positive modulus")
+        mpz = self._mpz
+        powmod = self._powmod
+        mod = mpz(modulus)
+        results = []
+        for base, exponent in pairs:
+            if exponent < 0:
+                raise ValueError("powm_many requires non-negative exponents")
+            results.append(int(powmod(mpz(base), exponent, mod)))
+        return results
+
+    def jacobi(self, a: int, n: int) -> int:
+        if n <= 0 or n % 2 == 0:
+            raise ValueError("jacobi symbol requires odd positive n")
+        return int(self._jacobi(self._mpz(a), self._mpz(n)))
+
+    def jacobi_many(self, values: Sequence[int], n: int) -> list[int]:
+        return [self.jacobi(value, n) for value in values]
+
+
+def load_gmpy2_bigint() -> Optional[Gmpy2Bigint]:
+    """The gmpy2 tier when importable, else ``None``."""
+    try:
+        import gmpy2
+    except ImportError:
+        return None
+    try:
+        tier = Gmpy2Bigint(gmpy2)
+        if tier.powm(7, 5, 11) != pow(7, 5, 11):
+            return None
+    except (AttributeError, TypeError, ValueError):
+        return None
+    return tier

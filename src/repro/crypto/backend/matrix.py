@@ -1,0 +1,66 @@
+"""numpy-backed exact modular matrix products for the erasure hot path.
+
+Reed-Solomon encode/decode in :mod:`repro.components.erasure` is a modular
+matrix product over ``F_p`` with ``p = 2^31 - 1``.  int64 matmul overflows
+for 31-bit entries, so the right operand is split into 16-bit limbs::
+
+    a @ b  ==  ((a @ hi) % p << 16) + a @ lo   (mod p)
+
+which is exact in int64 as long as the inner dimension stays below 2^15
+(enforced by :meth:`NumpyMatrix.matmul_mod`; callers fall back to the pure
+path beyond it).  Results are canonical ``[0, p)`` representatives, so the
+decoded bytes are bit-identical to the pure implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: inner-dimension bound that keeps the limb-split accumulation inside int64
+MAX_INNER_DIM = 1 << 15
+#: modulus bound that keeps entries at 31 bits
+MAX_MODULUS = 1 << 31
+
+
+class NumpyMatrix:
+    """Exact modular matrix products on int64 numpy arrays."""
+
+    name = "numpy"
+
+    def __init__(self, np) -> None:
+        self._np = np
+
+    def matrix(self, rows: Sequence[Sequence[int]]):
+        """An int64 array from rows of Python ints in ``[0, 2^31)``."""
+        return self._np.array(rows, dtype=self._np.int64)
+
+    def matmul_mod(self, a, b, modulus: int):
+        """``(a @ b) % modulus`` computed exactly in int64."""
+        if not 1 < modulus <= MAX_MODULUS:
+            raise ValueError(
+                f"matmul_mod supports moduli in (1, 2^31], got {modulus}")
+        inner = a.shape[-1]
+        if inner > MAX_INNER_DIM:
+            raise ValueError(
+                f"matmul_mod inner dimension {inner} exceeds {MAX_INNER_DIM}")
+        np = self._np
+        hi, lo = np.divmod(b, 1 << 16)
+        acc = ((a @ hi % modulus) << 16) + a @ lo
+        return acc % modulus
+
+
+def load_numpy_matrix() -> Optional[NumpyMatrix]:
+    """The numpy matrix engine when importable, else ``None``."""
+    try:
+        import numpy
+    except ImportError:
+        return None
+    engine = NumpyMatrix(numpy)
+    try:
+        check = engine.matmul_mod(engine.matrix([[3, 5]]),
+                                  engine.matrix([[7], [11]]), 2**31 - 1)
+        if int(check[0][0]) != (3 * 7 + 5 * 11) % (2**31 - 1):
+            return None
+    except Exception:  # pragma: no cover - defensive probe
+        return None
+    return engine

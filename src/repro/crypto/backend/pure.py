@@ -1,0 +1,48 @@
+"""The always-available pure-Python big-integer tier.
+
+Delegates straight to the CPython builtins and the hand-optimised helpers in
+:mod:`repro.crypto.fastpath`; this tier defines the reference semantics that
+every native tier must reproduce bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto import fastpath
+
+
+class PureBigint:
+    """Big-integer primitives via CPython ``pow`` and the fastpath helpers."""
+
+    name = "pure"
+
+    @staticmethod
+    def powm(base: int, exponent: int, modulus: int) -> int:
+        if exponent < 0:
+            raise ValueError("powm requires a non-negative exponent")
+        return pow(base, exponent, modulus)
+
+    @staticmethod
+    def multi_powm(pairs: Sequence[tuple[int, int]], modulus: int) -> int:
+        return fastpath.multi_exp(pairs, modulus)
+
+    @staticmethod
+    def powm_many(pairs: Sequence[tuple[int, int]],
+                  modulus: int) -> list[int]:
+        if modulus <= 0:
+            raise ValueError("powm_many requires a positive modulus")
+        results = []
+        for base, exponent in pairs:
+            if exponent < 0:
+                raise ValueError("powm_many requires non-negative exponents")
+            results.append(pow(base, exponent, modulus))
+        return results
+
+    @staticmethod
+    def jacobi(a: int, n: int) -> int:
+        return fastpath.jacobi(a, n)
+
+    @staticmethod
+    def jacobi_many(values: Sequence[int], n: int) -> list[int]:
+        return [fastpath.jacobi(value, n) for value in values]

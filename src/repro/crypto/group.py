@@ -20,14 +20,15 @@ modelled separately by :mod:`repro.crypto.curves`.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from functools import lru_cache
 from typing import Sequence
 
+from repro.crypto import backend as crypto_backend
 from repro.crypto.fastpath import (
     FixedBaseTable,
-    derive_batch_randomizers,
-    jacobi,
+    batch_randomizer_seed,
+    expand_batch_randomizers,
     multi_exp,
 )
 from repro.crypto.field import PrimeField
@@ -60,8 +61,8 @@ def _is_member_cached(p: int, q: int, a: int) -> bool:
     if p == 2 * q + 1:
         # Safe prime: the order-q subgroup is exactly the quadratic residues,
         # so a Jacobi symbol replaces the ~5x costlier pow(a, q, p) test.
-        return jacobi(a, p) == 1
-    return pow(a, q, p) == 1
+        return crypto_backend.jacobi(a, p) == 1
+    return crypto_backend.powm(a, q, p) == 1
 
 
 @lru_cache(maxsize=128)
@@ -101,6 +102,16 @@ class Group:
     p: int
     q: int
     g: int
+    # byte widths of the canonical encodings, derived once: element_to_bytes
+    # runs ~50x per combine and bit_length() on a 256-bit int is not free
+    _element_size: int = dataclass_field(init=False, repr=False, compare=False)
+    _scalar_size: int = dataclass_field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_element_size",
+                           (self.p.bit_length() + 7) // 8)
+        object.__setattr__(self, "_scalar_size",
+                           (self.q.bit_length() + 7) // 8)
 
     @property
     def scalar_field(self) -> PrimeField:
@@ -109,8 +120,8 @@ class Group:
 
     # ----------------------------------------------------------- group ops
     def exp(self, base: int, exponent: int) -> int:
-        """Return ``base ** exponent mod P``."""
-        return pow(base, exponent % self.q, self.p)
+        """Return ``base ** exponent mod P`` (via the active crypto backend)."""
+        return crypto_backend.powm(base, exponent % self.q, self.p)
 
     def mul(self, a: int, b: int) -> int:
         """Return the group product ``a * b mod P``."""
@@ -170,11 +181,11 @@ class Group:
 
     def element_to_bytes(self, a: int) -> bytes:
         """Canonical byte encoding of a group element (32 bytes + sign pad)."""
-        return a.to_bytes((self.p.bit_length() + 7) // 8, "big")
+        return a.to_bytes(self._element_size, "big")
 
     def scalar_to_bytes(self, s: int) -> bytes:
         """Canonical byte encoding of a scalar."""
-        return (s % self.q).to_bytes((self.q.bit_length() + 7) // 8, "big")
+        return (s % self.q).to_bytes(self._scalar_size, "big")
 
 
 DEFAULT_GROUP = Group(p=_SAFE_PRIME_P, q=_SUBGROUP_ORDER_Q, g=_GENERATOR)
@@ -292,9 +303,144 @@ def verify_dlog_equality_reference(group: Group, proof: ChaumPedersenProof,
     return lhs_h == rhs_h
 
 
+class BatchVerifySession:
+    """Cross-epoch memo for batched Chaum-Pedersen verification.
+
+    A streaming run combines the same share batches on every simulated node:
+    the per-share verifier already collapses that n-fold repetition through
+    ``_verify_dlog_equality_cached``, but each *batch* verification used to
+    re-derive its randomizers and re-run the multi-exponentiation per caller.
+    A session owned by the run (one per :class:`repro.testbed.streaming.
+    StreamingRun`, threaded through every :class:`repro.crypto.timing.
+    CryptoSuite`) memoises both:
+
+    * randomizer expansions keyed by the transcript seed digest, so the
+      Fiat-Shamir derivation is amortised across the pipeline's per-epoch
+      ``verify_shares``/``combine`` calls, and
+    * whole-batch verdicts keyed by ``(p, q, g, seed)``, so re-verifying an
+      identical batch (another node combining the same epoch's shares) costs
+      a dict lookup instead of a multi-exponentiation.
+
+    Both memos are FIFO-bounded.  Verdicts are pure functions of the
+    transcript, so a session changes wall-clock time only -- never results;
+    the modelled per-node CPU cost is charged by ``CryptoSuite`` upstream.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_verdicts", "_randomizers")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"session maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._verdicts: dict[tuple, bool] = {}
+        self._randomizers: dict[tuple[bytes, int], list[int]] = {}
+
+    def randomizers(self, seed: bytes, count: int) -> list[int]:
+        """Memoised :func:`repro.crypto.fastpath.expand_batch_randomizers`."""
+        key = (seed, count)
+        cached = self._randomizers.get(key)
+        if cached is None:
+            cached = expand_batch_randomizers(seed, count)
+            self._evict(self._randomizers)
+            self._randomizers[key] = cached
+        return cached
+
+    def lookup(self, key: tuple) -> "bool | None":
+        """A previously recorded batch verdict, or ``None``."""
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return verdict
+
+    def record(self, key: tuple, verdict: bool) -> None:
+        """Record a batch verdict for later identical batches."""
+        self._evict(self._verdicts)
+        self._verdicts[key] = verdict
+
+    def _evict(self, memo: dict) -> None:
+        # Drop the oldest half in one rebuild rather than popping the front
+        # entry per insert: ``next(iter(dict))`` scans the dict's dead-entry
+        # prefix, which grows with every pop (quadratic once the bound is
+        # hit -- measured as a 30% combine slowdown at steady state).
+        if len(memo) >= self.maxsize:
+            keep = self.maxsize // 2
+            survivors = list(memo.items())[-keep:] if keep else []
+            memo.clear()
+            memo.update(survivors)
+
+
+#: FIFO memos for batched native membership tests, one flat dict per group
+#: modulus so the hot lookups hash a bare element instead of a ``(p, a)``
+#: tuple.  Semantics mirror ``_is_member_cached`` (results are identical;
+#: only call batching differs).
+_NATIVE_MEMBER_MEMOS: dict[int, dict[int, bool]] = {}
+_NATIVE_MEMBER_MEMO_MAX = 16384
+
+
+def _batch_members_ok(group: Group, elements: Sequence[int]) -> bool:
+    """Subgroup membership for many elements at once.
+
+    On the pure path this is the memoised per-element Jacobi test.  With a
+    native big-integer tier active (and a safe-prime group) the uncached
+    elements go through one batched ``jacobi_many`` foreign call, which
+    turns ~4 Python-level Jacobi evaluations per statement into a single
+    libgmp sweep.
+    """
+    p, q = group.p, group.q
+    if not (crypto_backend.has_native_bigint() and p == 2 * q + 1):
+        return all(_is_member_cached(p, q, a) for a in elements)
+    memo = _NATIVE_MEMBER_MEMOS.get(p)
+    if memo is None:
+        memo = _NATIVE_MEMBER_MEMOS[p] = {}
+    # Verdicts are tracked locally rather than re-read from the memo at the
+    # end: the eviction below may push out entries cached by *earlier* calls
+    # that this batch still references (regression: KeyError once the memo
+    # wrapped around its size bound mid-batch).
+    lookup = memo.get
+    verdict = True
+    fresh: list[int] = []
+    seen_fresh: set[int] = set()
+    for element in elements:
+        known = lookup(element)
+        if known is None:
+            if element not in seen_fresh:
+                seen_fresh.add(element)
+                fresh.append(element)
+        elif not known:
+            verdict = False
+    if fresh:
+        # only in-range elements ever enter the memo, so anything cached is
+        # already validated and the range check runs on the misses alone
+        for element in fresh:
+            if not 1 <= element < p:
+                return False
+        symbols = crypto_backend.jacobi_many(fresh, p)
+        # Amortised eviction: rebuild with the newest half instead of
+        # popping entries one by one (``next(iter(dict))`` walks the dead
+        # prefix left by earlier pops, turning per-call eviction quadratic
+        # at steady state).  Long-lived keys -- verify keys, hashed message
+        # points -- sit in the newest half or get re-probed in one batched
+        # jacobi call, so the occasional rebuild costs ~nothing.
+        if len(memo) + len(fresh) > _NATIVE_MEMBER_MEMO_MAX:
+            survivors = list(memo.items())[-(_NATIVE_MEMBER_MEMO_MAX // 2):]
+            memo.clear()
+            memo.update(survivors)
+        for element, symbol in zip(fresh, symbols):
+            member = symbol == 1
+            memo[element] = member
+            if not member:
+                verdict = False
+    return verdict
+
+
 def batch_verify_dlog_equality(group: Group, base_h: int,
                                statements: Sequence[tuple[ChaumPedersenProof, int, int]],
-                               context: bytes = b"") -> bool:
+                               context: bytes = b"",
+                               session: "BatchVerifySession | None" = None) -> bool:
     """Batch-verify Chaum-Pedersen proofs that share the secondary base.
 
     ``statements`` is a sequence of ``(proof, value_g, value_h)`` claiming
@@ -327,13 +473,15 @@ def batch_verify_dlog_equality(group: Group, base_h: int,
     if not statements:
         return True
     q = group.q
+    elements: list[int] = []
+    for proof, value_g, value_h in statements:
+        elements.extend((value_g, value_h, proof.commitment_g,
+                         proof.commitment_h))
+    if not _batch_members_ok(group, elements):
+        return False
     transcripts: list[bytes] = [context, group.element_to_bytes(base_h)]
     challenges = []
     for proof, value_g, value_h in statements:
-        if not (group.is_member(value_g) and group.is_member(value_h)
-                and group.is_member(proof.commitment_g)
-                and group.is_member(proof.commitment_h)):
-            return False
         challenge = _challenge(group, context, base_h, value_g, value_h,
                                proof.commitment_g, proof.commitment_h)
         challenges.append(challenge)
@@ -344,36 +492,84 @@ def batch_verify_dlog_equality(group: Group, base_h: int,
             group.element_to_bytes(proof.commitment_h),
             group.scalar_to_bytes(proof.response),
         ))
-    randomizers = derive_batch_randomizers(transcripts, 2 * len(statements))
+    seed = batch_randomizer_seed(transcripts)
+    if session is not None:
+        session_key = (group.p, group.q, group.g, seed)
+        cached = session.lookup(session_key)
+        if cached is not None:
+            return cached
+        randomizers = session.randomizers(seed, 2 * len(statements))
+    else:
+        randomizers = expand_batch_randomizers(seed, 2 * len(statements))
     p = group.p
-    pairs: list[tuple[int, int]] = []
-    verify_key_product = 1
-    response_sum_g = 0
-    response_sum_h = 0
-    for index, ((proof, value_g, value_h), challenge) in enumerate(
-            zip(statements, challenges)):
-        weight_g = randomizers[2 * index]
-        weight_h = randomizers[2 * index + 1]
-        response_sum_g = (response_sum_g + weight_g * proof.response) % q
-        response_sum_h = (response_sum_h + weight_h * proof.response) % q
-        pairs.append((proof.commitment_g, weight_g))
-        pairs.append((proof.commitment_h, weight_h))
-        # value_g is a long-lived public verify key: exponentiate it through
-        # its cached fixed-base table instead of the shared multi-exp.
-        verify_key_product = verify_key_product * _verify_key_table(
-            p, q, value_g).pow(weight_g * challenge % q) % p
-        pairs.append((value_h, weight_h * challenge % q))
-    # Negated exponents folded into the one product: x^-e == x^(q - e) for
-    # subgroup members, so the whole check is a single multi-exponentiation
-    # sharing one squaring chain (g's term stays on the cheap fixed-base
-    # table as the expected value).
-    pairs.append((base_h, (q - response_sum_h) % q))
-    return multi_exp(pairs, p) * verify_key_product % p == \
-        group.power_of_g(response_sum_g)
+    native = crypto_backend.has_native_bigint()
+    if native:
+        # Native restructuring of the same product: every per-statement
+        # term is first raised to its 64-bit randomizer weight only --
+        # a_i^{r_i}, b_i^{s_i}, v_i^{r_i}, u_i^{s_i} in one batched
+        # foreign call of *short*-exponent powms -- and the full-width
+        # challenge is applied once per statement via
+        # ``v^{r c} u^{s c} == (v^r u^s)^c``.  That swaps 2n full-width
+        # exponentiations for n, which dominates the verify cost.
+        response_sum_g = 0
+        response_sum_h = 0
+        weighted: list[tuple[int, int]] = []
+        for index, (proof, value_g, value_h) in enumerate(statements):
+            weight_g = randomizers[2 * index]
+            weight_h = randomizers[2 * index + 1]
+            response_sum_g = (response_sum_g + weight_g * proof.response) % q
+            response_sum_h = (response_sum_h + weight_h * proof.response) % q
+            weighted.append((proof.commitment_g, weight_g))
+            weighted.append((proof.commitment_h, weight_h))
+            weighted.append((value_g, weight_g))
+            weighted.append((value_h, weight_h))
+        powers = crypto_backend.powm_many(weighted, p)
+        prefold = 1
+        pairs = []
+        for index, challenge in enumerate(challenges):
+            a_r, b_s, v_r, u_s = powers[4 * index:4 * index + 4]
+            prefold = prefold * a_r % p * b_s % p
+            pairs.append((v_r * u_s % p, challenge))
+        # Negated exponents fold the expected values into the product too
+        # (x^-e == x^(q - e) for subgroup members), so the whole check is
+        # one multi-exponentiation compared against 1.
+        pairs.append((base_h, (q - response_sum_h) % q))
+        pairs.append((group.g, (q - response_sum_g) % q))
+        pairs.append((prefold, 1))
+        verdict = crypto_backend.multi_powm(pairs, p) == 1
+    else:
+        pairs = []
+        verify_key_product = 1
+        response_sum_g = 0
+        response_sum_h = 0
+        for index, ((proof, value_g, value_h), challenge) in enumerate(
+                zip(statements, challenges)):
+            weight_g = randomizers[2 * index]
+            weight_h = randomizers[2 * index + 1]
+            response_sum_g = (response_sum_g + weight_g * proof.response) % q
+            response_sum_h = (response_sum_h + weight_h * proof.response) % q
+            pairs.append((proof.commitment_g, weight_g))
+            pairs.append((proof.commitment_h, weight_h))
+            # value_g is a long-lived public verify key: exponentiate it
+            # through its cached fixed-base table instead of the shared
+            # multi-exp.
+            verify_key_product = verify_key_product * _verify_key_table(
+                p, q, value_g).pow(weight_g * challenge % q) % p
+            pairs.append((value_h, weight_h * challenge % q))
+        # Negated exponent folded into the one product: x^-e == x^(q - e)
+        # for subgroup members (g's term stays on the cheap fixed-base
+        # table as the expected value).
+        pairs.append((base_h, (q - response_sum_h) % q))
+        verdict = multi_exp(pairs, p) * verify_key_product % p == \
+            group.power_of_g(response_sum_g)
+    if session is not None:
+        session.record(session_key, verdict)
+    return verdict
 
 
 def select_shares_batched(group: Group, base_h: int, shares, context: bytes,
-                          structural_ok, statement_of, verify_one) -> dict:
+                          structural_ok, statement_of, verify_one,
+                          session: "BatchVerifySession | None" = None) -> dict:
     """Deduplicate signer-keyed shares with batch verification.
 
     The shared happy/fallback skeleton of every threshold combiner
@@ -394,7 +590,8 @@ def select_shares_batched(group: Group, base_h: int, shares, context: bytes,
         if structural_ok(share):
             distinct.setdefault(share.signer, share)
     statements = [statement_of(share) for share in distinct.values()]
-    if batch_verify_dlog_equality(group, base_h, statements, context=context):
+    if batch_verify_dlog_equality(group, base_h, statements, context=context,
+                                  session=session):
         return distinct
     distinct = {}
     for share in shares:

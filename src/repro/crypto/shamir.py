@@ -65,15 +65,34 @@ class ShamirDealer:
                 for i in range(1, self.num_parties + 1)]
 
     def recover(self, shares: Sequence[ShamirShare]) -> int:
-        """Reconstruct the secret from at least ``threshold`` distinct shares."""
-        if len({share.index for share in shares}) < self.threshold:
+        """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+        Repeated submissions of the *same* share (same field-reduced index,
+        same value -- e.g. a retransmitted message) are deduplicated before
+        the threshold shares are selected, in first-seen order.  Two shares
+        claiming the same index with *different* values are contradictory --
+        at least one is forged -- and raise :class:`ShamirError` naming the
+        offending index rather than silently interpolating garbage.
+        """
+        distinct: dict[int, ShamirShare] = {}
+        for share in shares:
+            index = self.field.reduce(share.index)
+            if index == 0:
+                raise ShamirError("share index 0 is reserved for the secret")
+            known = distinct.get(index)
+            if known is None:
+                distinct[index] = share
+            elif self.field.reduce(known.value) != self.field.reduce(share.value):
+                raise ShamirError(
+                    f"conflicting values for share index {share.index}")
+        if len(distinct) < self.threshold:
             raise ShamirError(
-                f"need {self.threshold} distinct shares, got "
-                f"{len({share.index for share in shares})}")
-        points = [share.as_point() for share in shares[: self.threshold]]
+                f"need {self.threshold} distinct shares, got {len(distinct)}")
+        points = [share.as_point()
+                  for share in list(distinct.values())[: self.threshold]]
         try:
             return interpolate_at_zero(self.field, points)
-        except FieldError as exc:  # duplicate / zero indices
+        except FieldError as exc:  # zero index after reduction etc.
             raise ShamirError(str(exc)) from exc
 
 
@@ -86,5 +105,7 @@ def split_secret(secret: int, num_parties: int, threshold: int, field: PrimeFiel
 def recover_secret(shares: Sequence[ShamirShare], threshold: int,
                    field: PrimeField) -> int:
     """Convenience wrapper around :class:`ShamirDealer.recover`."""
-    num_parties = max(share.index for share in shares)
+    if not shares:
+        raise ShamirError(f"need {threshold} distinct shares, got 0")
+    num_parties = max(max(share.index for share in shares), threshold)
     return ShamirDealer(field, num_parties, threshold).recover(list(shares))

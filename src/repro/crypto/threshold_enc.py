@@ -20,9 +20,10 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from repro.crypto.fastpath import multi_exp
+from repro.crypto import backend as crypto_backend
 from repro.crypto.field import lagrange_coefficients_at_zero
 from repro.crypto.group import (
+    BatchVerifySession,
     ChaumPedersenProof,
     DEFAULT_GROUP,
     Group,
@@ -131,7 +132,8 @@ class ThresholdEncPublicKey:
                                     context=b"tenc-share")
 
     def combine(self, ciphertext: Ciphertext,
-                shares: Sequence[DecryptionShare], verify: bool = True) -> bytes:
+                shares: Sequence[DecryptionShare], verify: bool = True,
+                session: Optional[BatchVerifySession] = None) -> bytes:
         """Combine ``threshold`` valid decryption shares and recover the plaintext."""
         if verify:
             distinct = select_shares_batched(
@@ -141,7 +143,8 @@ class ThresholdEncPublicKey:
                     and 1 <= s.signer <= self.num_parties),
                 statement_of=lambda s: (
                     s.proof, self.share_verify_keys[s.signer - 1], s.value),
-                verify_one=lambda s: self.verify_share(ciphertext, s))
+                verify_one=lambda s: self.verify_share(ciphertext, s),
+                session=session)
         else:
             distinct = {}
             for share in shares:
@@ -152,7 +155,7 @@ class ThresholdEncPublicKey:
         selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
         indices = [share.signer for share in selected]
         coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        shared = multi_exp(
+        shared = crypto_backend.multi_powm(
             [(share.value, coefficient)
              for coefficient, share in zip(coefficients, selected)], self.group.p)
         key_material = hashlib.sha256(
@@ -206,9 +209,11 @@ class ThresholdEncScheme:
 
     def combine(self, ciphertext: Ciphertext,
                 shares: Iterable[DecryptionShare],
-                verify: bool = True) -> bytes:
+                verify: bool = True,
+                session: Optional[BatchVerifySession] = None) -> bytes:
         """Recover the plaintext from enough valid shares."""
-        return self.public_key.combine(ciphertext, list(shares), verify=verify)
+        return self.public_key.combine(ciphertext, list(shares), verify=verify,
+                                       session=session)
 
 
 def deal_threshold_enc(num_parties: int, threshold: int, rng,

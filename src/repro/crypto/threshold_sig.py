@@ -21,9 +21,10 @@ from typing import Iterable, Optional, Sequence
 
 from functools import lru_cache
 
-from repro.crypto.fastpath import multi_exp
+from repro.crypto import backend as crypto_backend
 from repro.crypto.field import lagrange_coefficients_at_zero
 from repro.crypto.group import (
+    BatchVerifySession,
     ChaumPedersenProof,
     DEFAULT_GROUP,
     Group,
@@ -91,6 +92,7 @@ class ThresholdSigPublicKey:
 
     def verify_shares(self, message: bytes,
                       shares: Sequence[ThresholdSigShare],
+                      session: Optional[BatchVerifySession] = None,
                       ) -> tuple[list[ThresholdSigShare], list[ThresholdSigShare]]:
         """Batch-verify many shares at once; returns ``(valid, invalid)``.
 
@@ -114,7 +116,7 @@ class ThresholdSigPublicKey:
         statements = [(share.proof, self.share_verify_keys[share.signer - 1],
                        share.value) for share in candidates]
         if batch_verify_dlog_equality(self.group, point, statements,
-                                      context=b"tsig-share"):
+                                      context=b"tsig-share", session=session):
             return candidates, structural_bad
         valid: list[ThresholdSigShare] = []
         invalid = structural_bad
@@ -127,7 +129,8 @@ class ThresholdSigPublicKey:
 
     def combine(self, message: bytes,
                 shares: Sequence[ThresholdSigShare],
-                verify: bool = True) -> ThresholdSignature:
+                verify: bool = True,
+                session: Optional[BatchVerifySession] = None) -> ThresholdSignature:
         """Combine ``threshold`` valid shares into the threshold signature.
 
         Verification uses the batch fast path; if it fails the seed's
@@ -145,7 +148,8 @@ class ThresholdSigPublicKey:
                     and s.message_point == point),
                 statement_of=lambda s: (
                     s.proof, self.share_verify_keys[s.signer - 1], s.value),
-                verify_one=lambda s: self.verify_share(message, s))
+                verify_one=lambda s: self.verify_share(message, s),
+                session=session)
         else:
             distinct = {}
             for share in shares:
@@ -156,7 +160,7 @@ class ThresholdSigPublicKey:
         selected = sorted(distinct.values(), key=lambda s: s.signer)[: self.threshold]
         indices = [share.signer for share in selected]
         coefficients = lagrange_coefficients_at_zero(self.group.scalar_field, indices)
-        combined = multi_exp(
+        combined = crypto_backend.multi_powm(
             [(share.value, coefficient)
              for coefficient, share in zip(coefficients, selected)], self.group.p)
         return ThresholdSignature(message_point=self.hash_message(message),
@@ -199,7 +203,7 @@ def _reconstructed_master_key(public_key: "ThresholdSigPublicKey") -> int:
     indices = list(range(1, public_key.threshold + 1))
     coefficients = lagrange_coefficients_at_zero(
         public_key.group.scalar_field, indices)
-    return multi_exp(
+    return crypto_backend.multi_powm(
         [(public_key.share_verify_keys[index - 1], coefficient)
          for coefficient, index in zip(coefficients, indices)],
         public_key.group.p)
@@ -245,9 +249,11 @@ class ThresholdSigScheme:
 
     def combine(self, message: bytes,
                 shares: Iterable[ThresholdSigShare],
-                verify: bool = True) -> ThresholdSignature:
+                verify: bool = True,
+                session: Optional[BatchVerifySession] = None) -> ThresholdSignature:
         """Combine shares into a threshold signature."""
-        return self.public_key.combine(message, list(shares), verify=verify)
+        return self.public_key.combine(message, list(shares), verify=verify,
+                                       session=session)
 
     def verify_signature(self, message: bytes,
                          signature: ThresholdSignature) -> bool:

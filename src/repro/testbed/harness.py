@@ -46,6 +46,7 @@ from repro.core.batcher import (
     ConsensusBatcherTransport,
     TransportConfig,
 )
+from repro.crypto.group import BatchVerifySession
 from repro.crypto.timing import CryptoSuite
 from repro.net.adversary import AsyncAdversary, DelayModel, LinkFaultSpec
 from repro.net.channel import WirelessChannel
@@ -215,7 +216,8 @@ def build_deployment(scenario: Scenario, batched: bool = True,
                      seed: int = 0,
                      crypto_schemes: Sequence[str] = ALL_SCHEMES,
                      global_crypto_schemes: Optional[Sequence[str]] = None,
-                     dealer_cache: Optional[DealerCache] = None) -> Deployment:
+                     dealer_cache: Optional[DealerCache] = None,
+                     batch_session: Optional[BatchVerifySession] = None) -> Deployment:
     """Assemble nodes, channels, crypto and transports for a scenario.
 
     ``crypto_schemes`` limits which threshold schemes the per-cluster domains
@@ -224,7 +226,10 @@ def build_deployment(scenario: Scenario, batched: bool = True,
     ``crypto_schemes``).  Dealing goes through the two-tier
     :class:`~repro.testbed.dealer_cache.DealerCache`, so repeated deployments
     at the same ``(num_nodes, seed)`` share bit-identical key material
-    without re-dealing.
+    without re-dealing.  ``batch_session`` (one per long-lived run, e.g. a
+    streaming stream) is shared by every node's :class:`CryptoSuite` so
+    batch-verification work repeated across simulated nodes and epochs is
+    memoised -- wall clock only, never modelled cost or results.
     """
     if global_crypto_schemes is None:
         global_crypto_schemes = crypto_schemes
@@ -282,6 +287,7 @@ def build_deployment(scenario: Scenario, batched: bool = True,
                 rng=node_rng,
                 cost_sink=node.charge_cpu,
                 cost_scale=scenario.crypto_cost_scale,
+                batch_session=batch_session,
             )
             transport = _make_transport(batched, node, cluster.size, suite, trace,
                                         scenario.transport, local_id)
@@ -337,6 +343,7 @@ def build_deployment(scenario: Scenario, batched: bool = True,
                 rng=node_rng,
                 cost_sink=node.charge_cpu,
                 cost_scale=scenario.crypto_cost_scale,
+                batch_session=batch_session,
             )
             transport_config = scenario.transport if scenario.transport.interface \
                 else TransportConfig(

@@ -61,6 +61,7 @@ import statistics
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
+from repro.crypto.group import BatchVerifySession
 from repro.protocols.base import ConsensusConfig, ConsensusProtocol
 from repro.testbed.harness import (
     Deployment,
@@ -240,6 +241,12 @@ class StreamingRun:
             raise DeploymentError(
                 f"epoch-crash at epoch {byzantine.crash_at_epoch} can never "
                 f"fire in a {spec.epochs}-epoch stream")
+        #: one batch-verification memo shared by every node's CryptoSuite for
+        #: the whole stream: repeated verifications of the same share batch
+        #: (every node combines the same quorum each epoch) hit the memo
+        #: instead of redoing the wall-clock work.  Modelled CPU cost and
+        #: results are unchanged -- see BatchVerifySession.
+        self.batch_session = BatchVerifySession()
         if scenario.is_multi_hop:
             global_config = self._global_config(0)
             self.deployment = build_deployment(
@@ -247,12 +254,14 @@ class StreamingRun:
                 crypto_schemes=crypto_schemes_for_protocol(
                     protocol, self.base_config),
                 global_crypto_schemes=crypto_schemes_for_protocol(
-                    protocol, global_config))
+                    protocol, global_config),
+                batch_session=self.batch_session)
         else:
             self.deployment = build_deployment(
                 scenario, batched=batched, seed=seed,
                 crypto_schemes=crypto_schemes_for_protocol(
-                    protocol, self.base_config))
+                    protocol, self.base_config),
+                batch_session=self.batch_session)
         #: time-varying network conditions (None = static scenario only)
         self.controller = ScenarioController(pack, self.deployment) \
             if pack is not None else None

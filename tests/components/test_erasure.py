@@ -1,5 +1,6 @@
 """Tests for the Reed-Solomon erasure coder used by Cachin's RBC."""
 
+import dataclasses
 import random
 
 import pytest
@@ -13,6 +14,7 @@ from repro.components.erasure import (
     decode_blocks,
     encode_blocks,
 )
+from repro.crypto import backend
 
 
 class TestErasureCoding:
@@ -142,3 +144,49 @@ class TestSystematicEncoding:
                                    systematic=True)
         with pytest.raises(ErasureError, match="systematic"):
             decode_blocks([plain[0], systematic[1]])
+
+
+class TestEdgeCasePayloads:
+    """Zero-length and sub-chunk payloads must round-trip identically on the
+    pure and native coding paths (regression: these hit the forced
+    single-zero-polynomial branch of the encoder)."""
+
+    @pytest.mark.parametrize("payload", [b"", b"a", b"ab"])
+    @pytest.mark.parametrize("systematic", [False, True])
+    def test_short_payload_roundtrip_both_modes(self, payload, systematic):
+        results = {}
+        for mode in ("pure", "auto"):
+            with backend.use(mode):
+                blocks = encode_blocks(payload, num_data_blocks=2,
+                                       num_blocks=4, systematic=systematic)
+                results[mode] = ([block.values for block in blocks],
+                                 decode_blocks(blocks[-2:]))
+        assert results["pure"] == results["auto"]
+        assert results["pure"][1] == payload
+
+    def test_truncated_block_values_named_error_both_modes(self):
+        blocks = encode_blocks(b"hello world!", num_data_blocks=2,
+                               num_blocks=4)
+        truncated = dataclasses.replace(blocks[0],
+                                        values=blocks[0].values[:-1])
+        for mode in ("pure", "auto"):
+            with backend.use(mode):
+                with pytest.raises(ErasureError, match="carries"):
+                    decode_blocks([truncated, blocks[1]])
+
+    def test_inflated_block_values_named_error(self):
+        blocks = encode_blocks(b"hello world!", num_data_blocks=2,
+                               num_blocks=4)
+        inflated = dataclasses.replace(blocks[0],
+                                       values=blocks[0].values + (1,))
+        with pytest.raises(ErasureError, match="carries"):
+            decode_blocks([inflated, blocks[1]])
+
+    def test_degenerate_block_metadata_named_errors(self):
+        blocks = encode_blocks(b"xyz", num_data_blocks=1, num_blocks=2)
+        zero_k = dataclasses.replace(blocks[0], num_data_blocks=0)
+        with pytest.raises(ErasureError, match="data blocks"):
+            decode_blocks([zero_k])
+        negative_length = dataclasses.replace(blocks[0], payload_length=-1)
+        with pytest.raises(ErasureError, match="negative payload"):
+            decode_blocks([negative_length])

@@ -1,0 +1,314 @@
+"""Tests for the pluggable crypto/erasure acceleration backend.
+
+Two properties are load-bearing and pinned here:
+
+* **Opt-in**: the pure path is the default; native tiers engage only via
+  ``REPRO_CRYPTO_BACKEND`` (or :func:`repro.crypto.backend.use`).
+* **Bit identity**: switching backends can never change a single result --
+  not a group element, not a decoded byte, not a digest.  The property
+  tests compare pure and native answers over randomized grids, and the
+  end-to-end tests pin whole threshold-scheme transcripts across modes.
+
+When no native tier probes successfully (no gmpy2, no libgmp, no numpy)
+the cross-checks degenerate to pure-vs-pure and still pass.
+"""
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import backend
+from repro.crypto.backend import BackendUnavailableError
+from repro.crypto.backend.pure import PureBigint
+from repro.crypto.group import BatchVerifySession, DEFAULT_GROUP
+from repro.crypto.threshold_sig import deal_threshold_sig
+
+P = DEFAULT_GROUP.p
+PURE = PureBigint()
+
+
+# --------------------------------------------------------------- mode probe
+class TestModeSelection:
+    def test_unset_env_means_pure(self):
+        assert backend.resolve_mode(None) == "pure"
+        assert backend.resolve_mode("") == "pure"
+
+    def test_valid_modes(self):
+        assert backend.resolve_mode("pure") == "pure"
+        assert backend.resolve_mode("auto") == "auto"
+        assert backend.resolve_mode("NATIVE") == "native"
+        assert backend.resolve_mode(" native ") == "native"
+
+    def test_invalid_mode_fails_loudly(self):
+        with pytest.raises(BackendUnavailableError, match="not a valid"):
+            backend.resolve_mode("fast")
+
+    def test_use_restores_previous_selection(self):
+        before = backend.backend_info()
+        with backend.use("auto") as info:
+            assert info["mode"] == "auto"
+        assert backend.backend_info() == before
+
+    def test_pure_mode_never_uses_native(self):
+        with backend.use("pure"):
+            assert not backend.has_native_bigint()
+            assert backend.matrix_engine() is None
+
+    def test_auto_mode_survives_missing_native(self, monkeypatch):
+        monkeypatch.setattr(backend, "_native_bigint", None)
+        monkeypatch.setattr(backend, "_native_matrix", None)
+        with backend.use("auto"):
+            assert not backend.has_native_bigint()
+            assert backend.powm(3, 4, 7) == pow(3, 4, 7)
+
+    def test_native_mode_requires_a_bigint_tier(self, monkeypatch):
+        monkeypatch.setattr(backend, "_native_bigint", None)
+        with pytest.raises(BackendUnavailableError, match="native"):
+            backend.activate("native")
+        # the failed activation must not leave a half-selected backend
+        backend.activate("pure")
+        assert backend.current_mode() == "pure"
+
+    def test_backend_info_reports_probe_results(self):
+        info = backend.backend_info()
+        assert set(info) == {"mode", "bigint", "matrix",
+                             "native_bigint_available",
+                             "native_matrix_available"}
+        assert info["mode"] in ("pure", "auto", "native")
+
+
+# --------------------------------------------------------- bigint identity
+def _native_bigint_or_none():
+    return backend._probe_native_bigint()
+
+
+needs_native = pytest.mark.skipif(
+    _native_bigint_or_none() is None,
+    reason="no native big-integer tier available in this environment")
+
+
+class TestBigintBitIdentity:
+    @given(base=st.integers(min_value=0, max_value=P * 2),
+           exponent=st.integers(min_value=0, max_value=DEFAULT_GROUP.q),
+           modulus=st.integers(min_value=1, max_value=P))
+    @settings(max_examples=60, deadline=None)
+    def test_powm_matches_pure(self, base, exponent, modulus):
+        native = _native_bigint_or_none() or PURE
+        assert native.powm(base, exponent, modulus) == \
+            PURE.powm(base, exponent, modulus)
+
+    def test_powm_edge_cases(self):
+        native = _native_bigint_or_none() or PURE
+        for base, exponent, modulus in [(0, 0, 7), (0, 5, 7), (5, 0, 7),
+                                        (7, 3, 1), (P - 1, DEFAULT_GROUP.q, P),
+                                        (P + 3, 2, P)]:
+            assert native.powm(base, exponent, modulus) == \
+                pow(base, exponent, modulus)
+
+    def test_negative_exponent_rejected_on_both_paths(self):
+        native = _native_bigint_or_none() or PURE
+        with pytest.raises(ValueError):
+            PURE.powm(3, -1, 7)
+        with pytest.raises(ValueError):
+            native.powm(3, -1, 7)
+
+    @given(count=st.integers(min_value=0, max_value=8),
+           seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_multi_powm_matches_pure(self, count, seed):
+        rnd = random.Random(seed)
+        pairs = [(rnd.randrange(P), rnd.randrange(DEFAULT_GROUP.q))
+                 for _ in range(count)]
+        native = _native_bigint_or_none() or PURE
+        assert native.multi_powm(pairs, P) == PURE.multi_powm(pairs, P)
+
+    def test_multi_powm_empty_is_identity(self):
+        native = _native_bigint_or_none() or PURE
+        assert PURE.multi_powm([], P) == 1
+        assert native.multi_powm([], P) == 1
+
+    def test_multi_powm_negative_exponent_rejected(self):
+        native = _native_bigint_or_none() or PURE
+        with pytest.raises(ValueError):
+            PURE.multi_powm([(3, -1)], P)
+        with pytest.raises(ValueError):
+            native.multi_powm([(3, -1)], P)
+
+    @given(value=st.integers(min_value=-P, max_value=P * 2),
+           seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_jacobi_matches_pure(self, value, seed):
+        native = _native_bigint_or_none() or PURE
+        assert native.jacobi(value, P) == PURE.jacobi(value, P)
+
+    def test_jacobi_many_matches_scalar(self):
+        rnd = random.Random(11)
+        values = [0, 1, P - 1, P, P + 1] + [rnd.randrange(P) for _ in range(20)]
+        native = _native_bigint_or_none() or PURE
+        expected = [PURE.jacobi(value, P) for value in values]
+        assert native.jacobi_many(values, P) == expected
+        assert PURE.jacobi_many(values, P) == expected
+
+    def test_jacobi_even_modulus_rejected(self):
+        native = _native_bigint_or_none() or PURE
+        with pytest.raises(ValueError):
+            PURE.jacobi(3, 8)
+        with pytest.raises(ValueError):
+            native.jacobi(3, 8)
+
+
+# --------------------------------------------------------- matrix identity
+def _matrix_or_none():
+    return backend._probe_native_matrix()
+
+
+class TestMatrixEngine:
+    def test_matmul_matches_pure(self):
+        engine = _matrix_or_none()
+        if engine is None:
+            pytest.skip("numpy unavailable")
+        prime = 2**31 - 1
+        rnd = random.Random(5)
+        a = [[rnd.randrange(prime) for _ in range(6)] for _ in range(4)]
+        b = [[rnd.randrange(prime) for _ in range(3)] for _ in range(6)]
+        expected = [[sum(a[i][l] * b[l][j] for l in range(6)) % prime
+                     for j in range(3)] for i in range(4)]
+        got = engine.matmul_mod(engine.matrix(a), engine.matrix(b), prime)
+        assert got.tolist() == expected
+
+    def test_bounds_enforced(self):
+        engine = _matrix_or_none()
+        if engine is None:
+            pytest.skip("numpy unavailable")
+        from repro.crypto.backend.matrix import MAX_INNER_DIM
+        with pytest.raises(ValueError):
+            engine.matmul_mod(engine.matrix([[1]]), engine.matrix([[1]]),
+                              2**31 + 2)
+        wide = engine.matrix([[1] * (MAX_INNER_DIM + 1)])
+        tall = engine.matrix([[1]] * (MAX_INNER_DIM + 1))
+        with pytest.raises(ValueError):
+            engine.matmul_mod(wide, tall, 2**31 - 1)
+
+
+# ----------------------------------------------------- erasure bit identity
+class TestErasureBitIdentity:
+    @given(payload=st.binary(min_size=0, max_size=400),
+           k=st.integers(min_value=1, max_value=12),
+           extra=st.integers(min_value=0, max_value=8),
+           systematic=st.booleans(),
+           drop_seed=st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_encode_decode_identical_across_modes(self, payload, k, extra,
+                                                  systematic, drop_seed):
+        from repro.components.erasure import decode_blocks, encode_blocks
+        n = k + extra
+        with backend.use("pure"):
+            pure_blocks = encode_blocks(payload, k, n, systematic=systematic)
+            subset = random.Random(drop_seed).sample(pure_blocks, k)
+            pure_payload = decode_blocks(subset)
+        with backend.use("auto"):
+            auto_blocks = encode_blocks(payload, k, n, systematic=systematic)
+            auto_payload = decode_blocks(
+                [auto_blocks[block.index] for block in subset])
+        assert [block.values for block in auto_blocks] == \
+            [block.values for block in pure_blocks]
+        assert pure_payload == auto_payload == payload
+
+
+# ----------------------------------------------- threshold digest identity
+class TestThresholdBitIdentity:
+    def _transcript(self) -> bytes:
+        """One full deal/sign/combine transcript, hashed."""
+        rng = random.Random(99)
+        schemes = deal_threshold_sig(7, 3, rng)
+        message = b"backend-identity"
+        shares = [scheme.sign_share(message, rng) for scheme in schemes[:5]]
+        signature = schemes[0].combine(message, shares)
+        hasher = hashlib.sha256()
+        hasher.update(signature.value.to_bytes(40, "big"))
+        for share in shares:
+            hasher.update(share.value.to_bytes(40, "big"))
+            hasher.update(share.proof.commitment_g.to_bytes(40, "big"))
+            hasher.update(share.proof.commitment_h.to_bytes(40, "big"))
+            hasher.update(share.proof.response.to_bytes(40, "big"))
+        return hasher.digest()
+
+    def test_transcript_digest_identical_across_modes(self):
+        with backend.use("pure"):
+            pure_digest = self._transcript()
+        with backend.use("auto"):
+            auto_digest = self._transcript()
+        assert pure_digest == auto_digest
+
+
+# ------------------------------------------------------ membership memo
+class TestMembershipMemoEviction:
+    @needs_native
+    def test_eviction_mid_batch_does_not_lose_verdicts(self, monkeypatch):
+        # Regression: _batch_members_ok re-read verdicts from the shared memo
+        # after inserting fresh entries, but the size-bound eviction can push
+        # out entries cached by earlier calls that the *current* batch still
+        # references -- a KeyError after ~16k distinct elements in a run.
+        from repro.crypto import group as group_module
+
+        monkeypatch.setattr(group_module, "_NATIVE_MEMBER_MEMOS", {})
+        monkeypatch.setattr(group_module, "_NATIVE_MEMBER_MEMO_MAX", 4)
+        group = DEFAULT_GROUP
+        members = [pow(group.g, exponent, P) for exponent in range(2, 10)]
+        with backend.use("auto"):
+            assert group_module._batch_members_ok(group, members[:2])
+            # 2 cached + 5 fresh > max evicts the 2 cached mid-call
+            assert group_module._batch_members_ok(group, members[:7])
+
+    def test_duplicate_elements_single_probe(self, monkeypatch):
+        from repro.crypto import group as group_module
+
+        monkeypatch.setattr(group_module, "_NATIVE_MEMBER_MEMOS", {})
+        element = pow(DEFAULT_GROUP.g, 5, P)
+        with backend.use("auto"):
+            assert group_module._batch_members_ok(
+                DEFAULT_GROUP, [element, element, element])
+
+
+# ------------------------------------------------------ batch-verify memo
+class TestBatchVerifySession:
+    def _setup(self):
+        rng = random.Random(4)
+        schemes = deal_threshold_sig(7, 3, rng)
+        message = b"session-memo"
+        shares = [scheme.sign_share(message, rng) for scheme in schemes[:4]]
+        return schemes, message, shares
+
+    def test_repeat_combines_hit_the_memo(self):
+        schemes, message, shares = self._setup()
+        session = BatchVerifySession()
+        first = schemes[0].combine(message, shares, session=session)
+        assert session.misses == 1 and session.hits == 0
+        second = schemes[1].combine(message, shares, session=session)
+        assert session.hits == 1
+        assert first == second
+
+    def test_session_does_not_change_the_verdict(self):
+        schemes, message, shares = self._setup()
+        session = BatchVerifySession()
+        with_session = schemes[0].combine(message, shares, session=session)
+        without = schemes[0].combine(message, shares)
+        assert with_session == without
+
+    def test_eviction_bounds_the_memo(self):
+        schemes, _, _ = self._setup()
+        rng = random.Random(8)
+        session = BatchVerifySession(maxsize=2)
+        for round_number in range(4):
+            message = b"evict-%d" % round_number
+            shares = [scheme.sign_share(message, rng)
+                      for scheme in schemes[:4]]
+            schemes[0].combine(message, shares, session=session)
+        assert len(session._verdicts) <= 2
+        assert len(session._randomizers) <= 2
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            BatchVerifySession(maxsize=0)

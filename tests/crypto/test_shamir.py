@@ -46,6 +46,43 @@ class TestShamirDealer:
         with pytest.raises(ShamirError):
             dealer.recover([shares[0], shares[0], shares[0]])
 
+    def test_duplicate_shares_dedupe_when_enough_remain(self):
+        # Regression: a retransmitted share used to poison recover() -- the
+        # first `threshold` list entries were interpolated verbatim, so
+        # [s1, s1, s2, s3] raised "duplicate share indices" even though
+        # three distinct shares were present.
+        rng = random.Random(40)
+        dealer = ShamirDealer(FIELD, num_parties=5, threshold=3)
+        shares = dealer.deal(31337, rng)
+        assert dealer.recover(
+            [shares[0], shares[0], shares[1], shares[2]]) == 31337
+        assert recover_secret([shares[0], shares[0], shares[1], shares[2]],
+                              threshold=3, field=FIELD) == 31337
+
+    def test_conflicting_duplicate_indices_rejected_by_name(self):
+        rng = random.Random(41)
+        dealer = ShamirDealer(FIELD, num_parties=5, threshold=3)
+        shares = dealer.deal(7, rng)
+        forged = ShamirShare(index=shares[1].index,
+                             value=(shares[1].value + 1) % FIELD.q)
+        with pytest.raises(ShamirError,
+                           match=f"conflicting.*index {shares[1].index}"):
+            dealer.recover([shares[0], shares[1], forged, shares[2]])
+
+    def test_zero_index_rejected(self):
+        dealer = ShamirDealer(FIELD, num_parties=3, threshold=2)
+        with pytest.raises(ShamirError, match="index 0"):
+            dealer.recover([ShamirShare(index=0, value=1),
+                            ShamirShare(index=1, value=2)])
+        with pytest.raises(ShamirError, match="index 0"):
+            # an index congruent to 0 mod q is the same forbidden point
+            dealer.recover([ShamirShare(index=FIELD.q, value=1),
+                            ShamirShare(index=1, value=2)])
+
+    def test_recover_secret_empty_shares_rejected(self):
+        with pytest.raises(ShamirError):
+            recover_secret([], threshold=2, field=FIELD)
+
     def test_invalid_parameters(self):
         with pytest.raises(ShamirError):
             ShamirDealer(FIELD, num_parties=0, threshold=1)
