@@ -45,12 +45,14 @@ from repro.testbed.invariants import (
     RunObserver,
     check_all,
     check_ledger_continuity,
+    check_ledger_continuity_across_reconfig,
+    check_liveness_under_bounded_churn,
     check_scenario_recovery,
 )
 from repro.testbed.scenario_packs import available_packs, load_pack
 from repro.testbed.scenarios import Scenario
 from repro.testbed.streaming import StreamingSpec, run_streaming_consensus
-from repro.testbed.workload import ArrivalSpec, WorkloadSpec
+from repro.testbed.workload import ArrivalSpec, ChurnSpec, WorkloadSpec
 
 #: protocols swept by the default campaigns (one per family)
 CAMPAIGN_PROTOCOLS = ("honeybadger-sc", "beat", "dumbo-sc")
@@ -206,6 +208,24 @@ def _fault_stream_crash_epoch(scenario: Scenario) -> Scenario:
     return _assign(scenario, "epoch-crash", crash_at_epoch=2)
 
 
+def _fault_churn_rate(scenario: Scenario) -> Scenario:
+    """Poisson join/leave churn over a streaming run (one standby node kept
+    outside the initial committee so joins have somewhere to draw from).
+    Streaming single-hop cells only."""
+    return scenario.with_membership(ChurnSpec(
+        initial_size=scenario.num_nodes - 1,
+        join_rate=0.02, leave_rate=0.02, horizon_s=150.0))
+
+
+def _fault_crash_replace(scenario: Scenario) -> Scenario:
+    """One member permanently crashes mid-stream and a standby node is
+    enrolled in its place at the next epoch boundary.  Streaming single-hop
+    cells only."""
+    return scenario.with_membership(ChurnSpec(
+        initial_size=scenario.num_nodes - 1,
+        crash_times=(40.0,), replace_crashed=True, horizon_s=150.0))
+
+
 def _fault_quorum_loss(scenario: Scenario) -> Scenario:
     if scenario.is_multi_hop:
         # Crash f_global + 1 leaders: clusters still decide locally, but the
@@ -269,6 +289,15 @@ FAULT_MODELS: dict[str, FaultModel] = {
         FaultModel("stream-crash-epoch",
                    "f nodes per domain go fail-stop at epoch 2 of a stream",
                    _fault_stream_crash_epoch, timeout_scale=1.5,
+                   streaming_only=True),
+        FaultModel("node-churn-rate",
+                   "Poisson join/leave churn reconfiguring the committee at "
+                   "epoch boundaries",
+                   _fault_churn_rate, timeout_scale=2.0, streaming_only=True),
+        FaultModel("permanent-crash-with-replacement",
+                   "a member permanently crashes mid-stream and a standby "
+                   "replaces it at the next boundary",
+                   _fault_crash_replace, timeout_scale=2.0,
                    streaming_only=True),
     )
 }
@@ -352,6 +381,9 @@ class CellOutcome:
     invariants: list[InvariantVerdict] = field(default_factory=list)
     scenario: str = ""
     phases: list[dict] = field(default_factory=list)
+    #: per-epoch committee trail for cells under a membership-churn fault
+    #: (empty otherwise)
+    committees: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         """JSON-stable representation (no wall-clock, no floats-as-NaN)."""
@@ -376,6 +408,7 @@ class CellOutcome:
                            for verdict in self.invariants],
             "scenario": self.scenario,
             "phases": self.phases,
+            "committees": self.committees,
         }
 
 
@@ -441,6 +474,18 @@ SCENARIO_QUICK_CELLS = (
      "intermittent-connectivity"),
 )
 
+#: churn quick cells: streaming runs under dynamic membership (join/leave
+#: churn, permanent crash with standby replacement), each additionally gated
+#: on the reconfiguration invariants
+#: (:func:`check_ledger_continuity_across_reconfig`,
+#: :func:`check_liveness_under_bounded_churn`)
+CHURN_QUICK_CELLS = (
+    ("honeybadger-sc", TopologySpec.single(6), "node-churn-rate",
+     "uniform", 10),
+    ("beat", TopologySpec.single(5), "permanent-crash-with-replacement",
+     "telemetry", 8),
+)
+
 
 def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     """The bounded default matrix.
@@ -451,9 +496,11 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     -- plus the four large-n cells of :data:`SCALE_QUICK_CELLS` on the
     gateway-class scale profile and the four multi-epoch cells of
     :data:`STREAMING_QUICK_CELLS` (mid-stream crash, healing partition
-    spanning epochs, fault-free single-/multi-hop streams) and the three
+    spanning epochs, fault-free single-/multi-hop streams), the three
     scenario-pack cells of :data:`SCENARIO_QUICK_CELLS` (time-varying
-    degradation with recovery gates).  Full mode adds
+    degradation with recovery gates) and the two membership-churn cells of
+    :data:`CHURN_QUICK_CELLS` (join/leave churn, permanent crash with
+    replacement).  Full mode adds
     larger single-hop deployments (n=7, n=10) and a second seed per cell at
     uniform flavor on the fault models that scale with n, and a large-n
     sweep (scale profile, n=64 single-hop and 8x8 / 16x4 clustered) over
@@ -492,6 +539,12 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
             stream_epochs=epochs, scenario=scenario,
             seed=stable_seed(base_seed, protocol, topology.label, "none",
                              flavor, "scenario", scenario, epochs)))
+    for protocol, topology, fault, flavor, epochs in CHURN_QUICK_CELLS:
+        cells.append(CampaignCell(
+            protocol=protocol, topology=topology, fault=fault, flavor=flavor,
+            stream_epochs=epochs,
+            seed=stable_seed(base_seed, protocol, topology.label, fault,
+                             flavor, "churn", epochs)))
     if not quick:
         extra = CampaignSpec(
             topologies=(TopologySpec.single(7), TopologySpec.single(10)),
@@ -603,6 +656,26 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
     verdicts = check_all(
         observer, result.decided, fault.expect_decision, scenario.timeout_s,
         affected_domains=fault.affected_domains(cell.topology.is_multi_hop))
+    committees: list[dict] = []
+    if cell.stream_epochs and result.committees:
+        # Membership-churn cells gate on the reconfiguration invariants and
+        # record the full committee trail for the artifact.
+        verdicts.append(check_ledger_continuity_across_reconfig(
+            result.per_epoch, result.committees, result.ledger_digest))
+        verdicts.append(check_liveness_under_bounded_churn(
+            result.per_epoch, result.committees, result.decided,
+            cell.stream_epochs))
+        committees = [
+            {
+                "epoch": record.epoch,
+                "members": list(record.members),
+                "joined": list(record.joined),
+                "departed": list(record.departed),
+                "crashed": list(record.crashed),
+                "reconfigured": record.reconfigured,
+            }
+            for record in result.committees
+        ]
     if pack is not None:
         verdicts.append(check_ledger_continuity(result.per_epoch,
                                                 result.ledger_digest))
@@ -636,7 +709,8 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
         collisions=result.collisions,
         invariants=verdicts,
         scenario=cell.scenario,
-        phases=phases)
+        phases=phases,
+        committees=committees)
 
 
 def _run_cell_task(task: tuple) -> CellOutcome:

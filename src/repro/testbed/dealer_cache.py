@@ -16,7 +16,8 @@ This module makes dealing
   ``coin_flip`` dealing entirely) without perturbing the keys of the others;
 * **cached**: dealt schemes are memoised per process and persisted to disk
   under ``benchmarks/results/dealer_cache/``, keyed by
-  ``(num_nodes, seed, scheme, crypto-code fingerprint)`` -- the same
+  ``(num_nodes, seed, scheme, crypto-code fingerprint, committee domain)``
+  -- the same
   fingerprint discipline as the experiment result cache in
   :mod:`repro.expts.runner`, scoped to the files that actually determine the
   dealt keys.  A cache hit is bit-identical to a fresh deal (guarded by
@@ -90,23 +91,34 @@ class CryptoDomain:
         return None if holders is None else holders[local_id]
 
 
-def _scheme_rng(domain_seed: int, scheme: str) -> random.Random:
+def _scheme_rng(domain_seed: int, scheme: str,
+                domain: tuple = ()) -> random.Random:
     """The independent child RNG stream one scheme is dealt from.
 
     Independence is what makes lazy subsets sound: skipping one scheme can
     never shift the randomness another scheme consumes.
+
+    ``domain`` separates otherwise-identical dealings: two committees with
+    the same ``(num_nodes, domain_seed)`` but different membership (an
+    epoch-boundary reconfiguration re-dealing for a new committee) must not
+    share keys.  The empty domain keeps the historical ``dealer-v1`` stream,
+    so every existing deployment stays bit-identical.
     """
+    if domain:
+        return random.Random(
+            stable_seed("dealer-v2", domain_seed, scheme, tuple(domain)))
     return random.Random(stable_seed("dealer-v1", domain_seed, scheme))
 
 
-def deal_scheme(scheme: str, num_nodes: int, domain_seed: int):
+def deal_scheme(scheme: str, num_nodes: int, domain_seed: int,
+                domain: tuple = ()):
     """Deal one scheme for a domain, from its own deterministic stream.
 
     Returns ``(signing_keys, verify_keys)`` for the keyring and a list of
     per-node scheme handles for the threshold schemes.
     """
     faults = faults_tolerated(num_nodes)
-    rng = _scheme_rng(domain_seed, scheme)
+    rng = _scheme_rng(domain_seed, scheme, domain)
     if scheme == SCHEME_KEYRING:
         return generate_keyring(num_nodes, rng)
     if scheme == SCHEME_THRESHOLD_SIG:
@@ -181,10 +193,14 @@ class DealerCache:
 
     # ----------------------------------------------------------------- tiers
     def _disk_path(self, key: tuple) -> str:
-        payload = json.dumps(
-            {"n": key[0], "f": key[1], "seed": key[2], "scheme": key[3],
-             "code": key[4]},
-            sort_keys=True, separators=(",", ":"))
+        fields = {"n": key[0], "f": key[1], "seed": key[2], "scheme": key[3],
+                  "code": key[4]}
+        if key[5]:
+            # The committee domain joins the payload only when non-empty so
+            # every pre-domain disk entry keeps its path (no mass
+            # invalidation when the key scheme grew this field).
+            fields["domain"] = list(key[5])
+        payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
         digest = hashlib.sha256(payload.encode()).hexdigest()
         return os.path.join(self.directory, f"{digest}.pkl")
 
@@ -208,7 +224,8 @@ class DealerCache:
             pass  # a read-only checkout degrades to process-local caching
 
     # ------------------------------------------------------------------- API
-    def scheme(self, scheme: str, num_nodes: int, domain_seed: int):
+    def scheme(self, scheme: str, num_nodes: int, domain_seed: int,
+               domain: tuple = ()):
         """One scheme's dealt material, through both cache tiers.
 
         The derived fault bound is part of the key: the thresholds the
@@ -216,9 +233,14 @@ class DealerCache:
         outside the fingerprinted crypto sources — keying on it ensures a
         change to the ``n = 3f + 1`` rule can never serve key material dealt
         under the old thresholds.
+
+        ``domain`` is a flat tuple of ints/strings naming the committee (or
+        other sub-domain) the keys belong to.  It is part of both cache
+        tiers' keys: two committees with the same ``(n, f, seed)`` but
+        different membership can never collide on an entry.
         """
         key = (num_nodes, faults_tolerated(num_nodes), domain_seed, scheme,
-               self.fingerprint())
+               self.fingerprint(), tuple(domain))
         value = self._memory.get(key)
         if value is not None:
             self.hits += 1
@@ -230,7 +252,7 @@ class DealerCache:
                 self._memory[key] = value
                 return value
         self.misses += 1
-        value = deal_scheme(scheme, num_nodes, domain_seed)
+        value = deal_scheme(scheme, num_nodes, domain_seed, domain=key[5])
         self._memory[key] = value
         if self.use_disk:
             self._disk_put(key, value)
@@ -238,21 +260,26 @@ class DealerCache:
 
     def domain(self, num_nodes: int, domain_seed: int,
                schemes: Sequence[str] = ALL_SCHEMES,
-               signing_keys=None, verify_keys=None) -> CryptoDomain:
+               signing_keys=None, verify_keys=None,
+               domain: tuple = ()) -> CryptoDomain:
         """Assemble a :class:`CryptoDomain` dealing only ``schemes``.
 
         ``signing_keys`` / ``verify_keys`` may be passed in when the domain
-        shares an externally dealt digital-signature keyring.
+        shares an externally dealt digital-signature keyring.  ``domain``
+        separates committees sharing ``(num_nodes, domain_seed)`` -- see
+        :meth:`scheme`.
         """
         unknown = set(schemes) - set(ALL_SCHEMES)
         if unknown:
             raise ValueError(f"unknown schemes {sorted(unknown)}; "
                              f"known: {ALL_SCHEMES}")
+        committee_domain = tuple(domain)
         if signing_keys is None or verify_keys is None:
             signing_keys, verify_keys = self.scheme(
-                SCHEME_KEYRING, num_nodes, domain_seed)
+                SCHEME_KEYRING, num_nodes, domain_seed,
+                domain=committee_domain)
         wanted = set(schemes)
-        domain = CryptoDomain(
+        crypto_domain = CryptoDomain(
             num_nodes=num_nodes,
             faults=faults_tolerated(num_nodes),
             signing_keys=list(signing_keys),
@@ -263,9 +290,10 @@ class DealerCache:
             if scheme in wanted:
                 # Copy the list (like the keyring above): a caller mutating
                 # its domain must not poison the shared process cache.
-                setattr(domain, scheme,
-                        list(self.scheme(scheme, num_nodes, domain_seed)))
-        return domain
+                setattr(crypto_domain, scheme,
+                        list(self.scheme(scheme, num_nodes, domain_seed,
+                                         domain=committee_domain)))
+        return crypto_domain
 
 
 #: the shared default cache used by the harness
@@ -275,13 +303,17 @@ DEFAULT_DEALER_CACHE = DealerCache()
 def deal_crypto_domain(num_nodes: int, domain_seed: int,
                        schemes: Sequence[str] = ALL_SCHEMES,
                        signing_keys=None, verify_keys=None,
-                       cache: Optional[DealerCache] = None) -> CryptoDomain:
+                       cache: Optional[DealerCache] = None,
+                       domain: tuple = ()) -> CryptoDomain:
     """Deal (or fetch from cache) every scheme a consensus domain needs.
 
-    The result is a pure function of ``(num_nodes, domain_seed)`` per scheme:
-    repeated calls -- in this process, another worker, or another run --
-    return bit-identical key material.
+    The result is a pure function of ``(num_nodes, domain_seed, domain)`` per
+    scheme: repeated calls -- in this process, another worker, or another run
+    -- return bit-identical key material.  ``domain`` names the committee for
+    reconfiguration-time re-dealing (empty = the classic fixed-committee
+    stream, unchanged).
     """
     cache = cache if cache is not None else DEFAULT_DEALER_CACHE
     return cache.domain(num_nodes, domain_seed, schemes=schemes,
-                        signing_keys=signing_keys, verify_keys=verify_keys)
+                        signing_keys=signing_keys, verify_keys=verify_keys,
+                        domain=domain)

@@ -419,6 +419,11 @@ def _reject_streaming_only_strategies(scenario: Scenario) -> None:
         raise DeploymentError(
             "the epoch-crash strategy fires at a stream epoch index and "
             "never triggers in a one-epoch run; use run_streaming_consensus")
+    if scenario.membership is not None:
+        raise DeploymentError(
+            "membership churn reconfigures the committee at epoch "
+            "boundaries, which a one-epoch run does not have; use "
+            "run_streaming_consensus")
 
 
 # ---------------------------------------------------------------------------

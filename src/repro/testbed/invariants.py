@@ -242,6 +242,127 @@ def check_ledger_continuity(per_epoch: Sequence[Any],
     return InvariantVerdict("ledger-continuity", True)
 
 
+def check_ledger_continuity_across_reconfig(
+        per_epoch: Sequence[Any], committees: Sequence[Any],
+        ledger_digest: str) -> InvariantVerdict:
+    """Reconfiguration never tears the ledger or the committee trail.
+
+    Strengthens :func:`check_ledger_continuity` for runs under a membership
+    schedule: on top of the gap-free digest chain, the per-epoch committee
+    trail must itself be continuous -- one :class:`CommitteeRecord` per
+    completed epoch in epoch order, every committee at least ``3f + 1 = 4``
+    strong, and each epoch's committee derivable from its predecessor's by
+    exactly the net changes the record declares (members =
+    previous - departed - crashed + joined, with no overlap between the
+    three delta sets).  Together these prove that handing the stream from
+    one committee to the next neither lost an epoch nor smuggled in an
+    unaccounted membership change.
+    """
+    base = check_ledger_continuity(per_epoch, ledger_digest)
+    if not base.ok:
+        return InvariantVerdict("ledger-continuity-across-reconfig",
+                                False, base.detail)
+    name = "ledger-continuity-across-reconfig"
+    if not committees:
+        return InvariantVerdict(
+            name, False, "no committee records (membership schedule inactive)")
+    if len(committees) < len(per_epoch):
+        return InvariantVerdict(
+            name, False,
+            f"{len(per_epoch)} epochs completed but only {len(committees)} "
+            f"committee records")
+    previous = None
+    for position, record in enumerate(committees):
+        if record.epoch != position:
+            return InvariantVerdict(
+                name, False,
+                f"committee trail has a gap: position {position} holds epoch "
+                f"{record.epoch}")
+        if len(record.members) < 4:
+            return InvariantVerdict(
+                name, False,
+                f"epoch {record.epoch} ran with {len(record.members)} members, "
+                f"below the quorum floor (4 = 3f+1 with f=1)")
+        if len(set(record.members)) != len(record.members):
+            return InvariantVerdict(
+                name, False, f"epoch {record.epoch} committee has duplicates")
+        deltas = set(record.joined) | set(record.departed) | set(record.crashed)
+        if len(deltas) != (len(record.joined) + len(record.departed)
+                           + len(record.crashed)):
+            return InvariantVerdict(
+                name, False,
+                f"epoch {record.epoch} lists a node in more than one of "
+                f"joined/departed/crashed")
+        if previous is not None:
+            expected = ((set(previous.members) - set(record.departed)
+                         - set(record.crashed)) | set(record.joined))
+            if set(record.members) != expected:
+                return InvariantVerdict(
+                    name, False,
+                    f"epoch {record.epoch} committee {sorted(record.members)} "
+                    f"is not the declared transition from epoch "
+                    f"{previous.epoch} (expected {sorted(expected)})")
+        previous = record
+    return InvariantVerdict(name, True)
+
+
+#: how many p50 epoch latencies a reconfigured epoch may take before
+#: bounded-churn liveness is violated (key re-deal + transport rebind are
+#: boundary work, so a reconfigured epoch should stay within a small
+#: constant factor of the steady-state latency)
+CHURN_EPOCH_BOUND = 5
+
+
+def check_liveness_under_bounded_churn(
+        per_epoch: Sequence[Any], committees: Sequence[Any], decided: bool,
+        epochs_target: int,
+        bound_factor: int = CHURN_EPOCH_BOUND) -> InvariantVerdict:
+    """The stream stays live while churn stays within the fault budget.
+
+    Three properties: every boundary removed at most ``f`` members of the
+    committee it dismantled (the schedule admission rule's promise, checked
+    here from the recorded trail); the stream decided all ``epochs_target``
+    epochs; and no reconfigured epoch took longer than ``bound_factor``
+    baseline (p50) epoch latencies -- i.e. rebuilding keys and transports at
+    a boundary delays the next decision by a bounded amount instead of
+    stalling the pipeline.
+    """
+    name = "liveness-under-bounded-churn"
+    if not committees:
+        return InvariantVerdict(
+            name, False, "no committee records (membership schedule inactive)")
+    previous = None
+    for record in committees:
+        if previous is not None:
+            removed = len(record.departed) + len(record.crashed)
+            budget = (len(previous.members) - 1) // 3
+            if removed > budget:
+                return InvariantVerdict(
+                    name, False,
+                    f"boundary into epoch {record.epoch} removed {removed} "
+                    f"members from a committee of {len(previous.members)} "
+                    f"(fault budget f={budget})")
+        previous = record
+    if not decided or len(per_epoch) < epochs_target:
+        return InvariantVerdict(
+            name, False,
+            f"stream decided only {len(per_epoch)}/{epochs_target} epochs "
+            f"under churn")
+    reconfigured = {record.epoch for record in committees
+                    if record.reconfigured}
+    if reconfigured:
+        baseline = percentile([record.latency_s for record in per_epoch], 0.50)
+        allowance = bound_factor * baseline
+        for record in per_epoch:
+            if record.epoch in reconfigured and record.latency_s > allowance:
+                return InvariantVerdict(
+                    name, False,
+                    f"reconfigured epoch {record.epoch} took "
+                    f"{record.latency_s:.1f}s (allowed {allowance:.1f}s = "
+                    f"{bound_factor} x p50 {baseline:.1f}s)")
+    return InvariantVerdict(name, True)
+
+
 #: how many baseline (p50) epoch latencies after a heal the stream gets to
 #: produce its first post-heal epoch before recovery liveness is violated
 RECOVERY_EPOCH_BOUND = 3

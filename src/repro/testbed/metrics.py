@@ -152,6 +152,30 @@ class EpochRecord:
 
 
 @dataclass
+class CommitteeRecord:
+    """The committee one streaming epoch ran with (dynamic membership).
+
+    One record per epoch when a membership schedule is active.  ``members``
+    is the sorted committee the epoch was proposed to; ``joined`` /
+    ``departed`` / ``crashed`` are the *net* changes applied at the epoch's
+    entry boundary (a node joining and leaving within one window appears in
+    neither), and ``reconfigured`` marks boundaries that actually rebuilt
+    the committee's keys and transports.
+    """
+
+    epoch: int
+    members: tuple
+    joined: tuple = ()
+    departed: tuple = ()
+    crashed: tuple = ()
+    reconfigured: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
 class PhaseRecord:
     """Per-phase outcome of a streaming run under a scenario pack.
 
@@ -216,6 +240,13 @@ class StreamingRunResult:
     scenario: str = ""
     #: per-phase summaries when a scenario pack was active (else empty)
     phases: list[PhaseRecord] = field(default_factory=list)
+    #: per-epoch committees when a membership schedule was active (else empty)
+    committees: list[CommitteeRecord] = field(default_factory=list)
+
+    @property
+    def reconfigurations(self) -> int:
+        """How many epoch boundaries actually changed the committee."""
+        return sum(1 for record in self.committees if record.reconfigured)
 
     @property
     def per_epoch_digests(self) -> tuple:

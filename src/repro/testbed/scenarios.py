@@ -24,6 +24,7 @@ from repro.net.radio import LORA_SF7_125KHZ, WIFI_LIKE, RadioConfig
 from repro.net.topology import MultiHopTopology, SingleHopTopology, Topology
 from repro.core.batcher import TransportConfig
 from repro.testbed.byzantine import ByzantineSpec
+from repro.testbed.workload import ChurnSpec
 
 #: CSMA timings matched to the Wi-Fi-like PHY (microsecond slots instead of
 #: the LoRa-scale milliseconds; with 1 Mbit/s airtimes a 5 ms slot would
@@ -78,6 +79,11 @@ class Scenario:
     #: like quorum-loss deliberately crash the epoch-0 leaders to prove the
     #: global domain stalls.
     rotate_crashed_leaders: bool = False
+    #: streaming only: declarative node churn, expanded per run seed into a
+    #: :class:`repro.testbed.membership.MembershipSchedule` driving
+    #: epoch-boundary reconfiguration (None = fixed committee; one-epoch
+    #: entry points reject churn scenarios)
+    membership: Optional[ChurnSpec] = None
     #: virtual-time limit for a run
     timeout_s: float = 3000.0
 
@@ -145,6 +151,10 @@ class Scenario:
     def with_partition(self, *partitions: PartitionSpec) -> "Scenario":
         """A copy of the scenario with extra (transient) partitions."""
         return replace(self, partitions=self.partitions + tuple(partitions))
+
+    def with_membership(self, churn: ChurnSpec) -> "Scenario":
+        """A copy of the scenario with a churn process (streaming only)."""
+        return replace(self, membership=churn)
 
     def with_curves(self, ec_curve: str, threshold_curve: str) -> "Scenario":
         """A copy of the scenario using different signature curves."""

@@ -72,7 +72,13 @@ from repro.testbed.harness import (
     propose_epoch,
 )
 from repro.testbed.invariants import RunObserver
-from repro.testbed.metrics import EpochRecord, StreamingRunResult, chain_digest
+from repro.testbed.membership import MembershipController, MembershipSchedule
+from repro.testbed.metrics import (
+    CommitteeRecord,
+    EpochRecord,
+    StreamingRunResult,
+    chain_digest,
+)
 from repro.testbed.scenario_packs import ScenarioController, ScenarioPack
 from repro.testbed.scenarios import Scenario
 from repro.testbed.workload import (
@@ -210,6 +216,19 @@ class Mempool:
         refilled.update(self._pool)
         self._pool = refilled
 
+    def drain(self) -> list:
+        """Hand over every pooled transaction (FIFO) and forget it.
+
+        Called when this node departs the committee: its uncommitted backlog
+        is redistributed to the survivors (clients fail over).  In-flight
+        state is cleared too -- at an epoch boundary it is empty anyway
+        (every taken batch was committed or requeued at checkpoint time).
+        """
+        drained = list(self._pool)
+        self._pool.clear()
+        self._in_flight.clear()
+        return drained
+
 
 #: the canonical digest-chaining rule lives in metrics so the
 #: ledger-continuity invariant checker can rebuild the chain independently
@@ -224,7 +243,8 @@ class StreamingRun:
                  batched: bool = True, seed: int = 0,
                  config: Optional[ConsensusConfig] = None,
                  observer: Optional[RunObserver] = None,
-                 pack: Optional[ScenarioPack] = None) -> None:
+                 pack: Optional[ScenarioPack] = None,
+                 membership: Optional[MembershipSchedule] = None) -> None:
         self.protocol = protocol
         self.scenario = scenario
         self.spec = spec
@@ -265,6 +285,33 @@ class StreamingRun:
         #: time-varying network conditions (None = static scenario only)
         self.controller = ScenarioController(pack, self.deployment) \
             if pack is not None else None
+        #: dynamic membership (None = fixed committee)
+        schedule = membership
+        if schedule is None and scenario.membership is not None:
+            schedule = MembershipSchedule.from_churn(
+                scenario.membership, scenario.num_nodes, seed=seed)
+        if schedule is not None:
+            if scenario.is_multi_hop:
+                # Multi-hop reconfiguration would re-elect leaders and
+                # re-route the backbone mid-stream -- the documented
+                # extension point (membership.rebind_leader_schedules).
+                raise DeploymentError(
+                    "membership schedules reconfigure the single-hop "
+                    "committee; multi-hop reconfiguration is not supported")
+            if spec.pipeline_depth > 0:
+                raise ValueError(
+                    f"pipeline_depth must be 0 under a membership schedule "
+                    f"(reconfiguration needs a quiescent epoch boundary), "
+                    f"got {spec.pipeline_depth}")
+            if len(schedule.universe) != scenario.num_nodes:
+                raise ValueError(
+                    f"universe: the schedule covers {len(schedule.universe)} "
+                    f"nodes but the scenario deploys {scenario.num_nodes}")
+        self.membership = MembershipController(
+            schedule, self.deployment, protocol=protocol,
+            base_config=self.base_config, seed=seed,
+            batch_session=self.batch_session) if schedule is not None else None
+        self.committees: list[CommitteeRecord] = []
         self.arrivals = OpenLoopArrivals(spec.arrival, scenario.num_nodes,
                                          seed=seed)
         self.mempools = {node_id: Mempool(spec.arrival.max_mempool)
@@ -327,12 +374,51 @@ class StreamingRun:
             if node is not None and not node.crashed:
                 node.crash()
 
+    def _membership_boundary(self, epoch: int) -> CommitteeRecord:
+        """Apply pending churn at the boundary entering ``epoch``.
+
+        Runs while the stream is quiescent (membership forces depth 0, so
+        every earlier epoch is checkpointed).  Departed nodes' pooled
+        transactions are round-robined into the survivors' mempools in FIFO
+        order (admission dedups and counts as usual), then the controller
+        re-deals and rebinds the committee with every checkpointed epoch's
+        tag pre-released.
+        """
+        controller = self.membership
+        outcome = controller.advance(self.deployment.sim.now)
+        if outcome.changed:
+            removed = outcome.departed + outcome.crashed
+            survivors = controller.members
+            moved: list = []
+            for node_id in removed:
+                moved.extend(self.mempools[node_id].drain())
+            for index, transaction in enumerate(moved):
+                if self.mempools[survivors[index % len(survivors)]].admit(
+                        transaction):
+                    controller.redistributed += 1
+            from repro.testbed.membership import rebind_leader_schedules
+
+            rebind_leader_schedules(self.deployment, removed, epoch=epoch)
+            controller.reconfigure(released_roots=tuple(
+                ("epoch", done) for done in range(self.checkpoint_cursor)))
+        return CommitteeRecord(
+            epoch=epoch, members=controller.members, joined=outcome.joined,
+            departed=outcome.departed, crashed=outcome.crashed,
+            reconfigured=outcome.changed)
+
     def _start_epoch(self, epoch: int) -> None:
         deployment = self.deployment
         self._crash_epoch_victims(epoch)
+        if self.membership is not None:
+            self.committees.append(self._membership_boundary(epoch))
+            byzantine = self.scenario.byzantine.byzantine_ids
+            proposers = [node_id for node_id in sorted(deployment.runtimes)
+                         if node_id not in byzantine]
+        else:
+            proposers = self.honest
         self.epoch_start_s[epoch] = deployment.sim.now
         honest_backlogs = [self.mempools[node_id].backlog
-                           for node_id in self.honest]
+                           for node_id in proposers]
         self.epoch_backlogs[epoch] = honest_backlogs
         config = replace(self.base_config, epoch=epoch)
         instances = install_epoch_protocols(deployment, self.protocol,
@@ -408,10 +494,20 @@ class StreamingRun:
                    for node_id in self.honest if node_id in instances)
 
     def _epoch_complete(self, epoch: int) -> bool:
-        locals_done = all(
-            instance.decided
+        # Completion waits on honest members that can still decide: a
+        # membership-crashed node is permanently silent and must not stall
+        # the boundary (absent a schedule no honest node ever crashes, so
+        # the filter is inert).  If churn crashes *every* eligible member
+        # the epoch can never complete and the stream times out -- the
+        # correct failure for churn beyond the f-bound.
+        eligible = [
+            instance
             for node_id, instance in self.local_instances[epoch].items()
-            if node_id in self.honest)
+            if node_id in self.honest
+            and not self.deployment.nodes[node_id].crashed]
+        if not eligible:
+            return False
+        locals_done = all(instance.decided for instance in eligible)
         if not self.scenario.is_multi_hop:
             return locals_done
         # Multi-hop: every honest *local* instance must decide too (not just
@@ -428,8 +524,14 @@ class StreamingRun:
             deciders = {leader: self.global_instances[epoch][leader]
                         for leader in self.honest_leaders}
         else:
-            deciders = {node_id: self.local_instances[epoch][node_id]
-                        for node_id in self.honest}
+            # Iterate the epoch's instances (the committee that ran it, under
+            # membership), not the deployment-wide honest list: standby nodes
+            # have no instance, and a member crashed mid-epoch contributes
+            # only if it decided before going silent.
+            deciders = {node_id: instance
+                        for node_id, instance
+                        in self.local_instances[epoch].items()
+                        if node_id in self.honest and instance.decided}
         decide_times = [instance.decide_time
                         for instance in deciders.values()
                         if instance.decide_time is not None]
@@ -539,6 +641,8 @@ class StreamingRun:
     def run(self) -> StreamingRunResult:
         """Execute the stream to completion (or the scenario timeout)."""
         deployment = self.deployment
+        if self.membership is not None:
+            self.membership.install()
         if self.controller is not None:
             self.controller.install()
         for node_id in sorted(self.mempools):
@@ -581,7 +685,8 @@ class StreamingRun:
             seed=self.seed,
             scenario=self.pack.name if self.pack is not None else "",
             phases=self.controller.phase_records(self.records)
-            if self.controller is not None else [])
+            if self.controller is not None else [],
+            committees=self.committees)
 
 
 def run_streaming_consensus(protocol: str, scenario: Scenario,
@@ -589,7 +694,8 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
                             batched: bool = True, seed: int = 0,
                             config: Optional[ConsensusConfig] = None,
                             observer: Optional[RunObserver] = None,
-                            pack: Optional[ScenarioPack] = None) -> StreamingRunResult:
+                            pack: Optional[ScenarioPack] = None,
+                            membership: Optional[MembershipSchedule] = None) -> StreamingRunResult:
     """Run ``spec.epochs`` back-to-back consensus epochs under open-loop load.
 
     The fifth harness entry point.  Works on single-hop *and* multi-hop
@@ -616,6 +722,14 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
             the result then carries per-phase throughput/latency/drop
             summaries in ``phases``.  The caller is responsible for a
             ``scenario.timeout_s`` that covers the pack's timeline.
+        membership: an optional
+            :class:`~repro.testbed.membership.MembershipSchedule` of node
+            join/leave/permanent-crash events, applied at epoch boundaries
+            by a :class:`~repro.testbed.membership.MembershipController`
+            (single-hop, ``pipeline_depth == 0`` only); overrides the
+            schedule ``scenario.membership`` would expand to.  The result
+            then carries one :class:`~repro.testbed.metrics.CommitteeRecord`
+            per epoch in ``committees``.
 
     Returns a :class:`~repro.testbed.metrics.StreamingRunResult`; all times
     are virtual seconds and ``throughput_tps`` is committed transactions per
@@ -628,4 +742,5 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
     if scenario.num_nodes < 1:
         raise DeploymentError("streaming needs at least one node")
     return StreamingRun(protocol, scenario, spec, batched=batched, seed=seed,
-                        config=config, observer=observer, pack=pack).run()
+                        config=config, observer=observer, pack=pack,
+                        membership=membership).run()

@@ -209,3 +209,150 @@ class OpenLoopArrivals:
     def generated(self, node_id: int) -> int:
         """How many arrivals node ``node_id``'s stream has produced so far."""
         return self._index[node_id]
+
+
+# ---------------------------------------------------------------------------
+# churn arrival process (dynamic membership)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Shape of a node churn process over one streaming run.
+
+    The spec is declarative: :class:`ChurnProcess` (and through it
+    ``repro.testbed.membership.MembershipSchedule.from_churn``) expands it
+    into a deterministic event list on the virtual-time axis.  Units:
+    ``join_rate`` / ``leave_rate`` are events per **virtual second** over
+    ``horizon_s`` seconds; ``crash_times`` are absolute virtual-time seconds
+    at which one active node permanently crashes.
+
+    ``initial_size`` selects how many of the deployment's nodes form the
+    epoch-0 committee (0 = all of them); the rest start on standby and are
+    the join pool.  ``replace_crashed`` pairs every crash with a standby
+    join at the same instant, modelling operator-driven replacement.
+    ``min_size`` floors the committee (never below 4 = the smallest
+    ``3f + 1`` committee); leaves and crashes that would sink below it are
+    dropped at expansion time.
+    """
+
+    initial_size: int = 0
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    crash_times: tuple = ()
+    replace_crashed: bool = True
+    min_size: int = 4
+    horizon_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.initial_size < 0:
+            raise ValueError(
+                f"initial_size must be >= 0 (0 = whole deployment), "
+                f"got {self.initial_size}")
+        if self.initial_size and self.initial_size < 4:
+            raise ValueError(
+                f"initial_size must be >= 4 (the smallest 3f+1 committee), "
+                f"got {self.initial_size}")
+        if self.join_rate < 0:
+            raise ValueError(f"join_rate must be >= 0, got {self.join_rate}")
+        if self.leave_rate < 0:
+            raise ValueError(f"leave_rate must be >= 0, got {self.leave_rate}")
+        if self.min_size < 4:
+            raise ValueError(
+                f"min_size must be >= 4 (the smallest 3f+1 committee), "
+                f"got {self.min_size}")
+        if self.horizon_s < 0:
+            raise ValueError(
+                f"horizon_s must be >= 0, got {self.horizon_s}")
+        for at_s in self.crash_times:
+            if not at_s > 0:
+                raise ValueError(
+                    f"crash_times must all be > 0 (virtual seconds), "
+                    f"got {at_s}")
+
+
+class ChurnProcess:
+    """Expand a :class:`ChurnSpec` into deterministic churn events.
+
+    Every random quantity draws from its own child RNG stream (join times,
+    leave times, victim picks), never the simulator RNG, so adding churn to
+    a run can never shift any other seeded stream -- and a spec with no
+    events leaves a fault-free stream bit-identical to its seed.
+
+    ``events`` is a list of ``(at_s, action, node_id)`` tuples sorted by
+    time (``action`` in ``join`` / ``leave`` / ``crash``), a pure function
+    of ``(spec, num_nodes, seed)``.  Expansion replays the committee as it
+    goes: leaves/crashes that would sink below ``spec.min_size`` (counting
+    a paired replacement join) are dropped, joins with an empty standby
+    pool are dropped, so the emitted sequence is always structurally valid.
+    """
+
+    def __init__(self, spec: ChurnSpec, num_nodes: int, seed: int = 0) -> None:
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+        initial_size = spec.initial_size or num_nodes
+        if initial_size > num_nodes:
+            raise ValueError(
+                f"initial_size {initial_size} exceeds the deployment's "
+                f"{num_nodes} nodes")
+        self.spec = spec
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.initial = tuple(range(initial_size))
+        self.events = self._expand()
+
+    def _event_times(self, stream: str, rate: float) -> list[float]:
+        if rate <= 0 or self.spec.horizon_s <= 0:
+            return []
+        rng = random.Random(zlib.crc32(
+            repr((self.seed, "churn", stream)).encode()))
+        times, clock = [], 0.0
+        while True:
+            clock += rng.expovariate(rate)
+            if clock >= self.spec.horizon_s:
+                return times
+            times.append(clock)
+
+    def _expand(self) -> list[tuple]:
+        spec = self.spec
+        candidates = (
+            [(at_s, "join") for at_s in self._event_times("join",
+                                                          spec.join_rate)]
+            + [(at_s, "leave") for at_s in self._event_times("leave",
+                                                             spec.leave_rate)]
+            + [(at_s, "crash") for at_s in spec.crash_times])
+        # Sort by time; ties break crash < join < leave so a crash's paired
+        # replacement join lands right next to it.
+        order = {"crash": 0, "join": 1, "leave": 2}
+        candidates.sort(key=lambda item: (item[0], order[item[1]]))
+        pick = random.Random(zlib.crc32(
+            repr((self.seed, "churn", "pick")).encode()))
+        active = set(self.initial)
+        standby = [node_id for node_id in range(self.num_nodes)
+                   if node_id not in active]
+        events: list[tuple] = []
+        for at_s, action in candidates:
+            if action == "join":
+                if not standby:
+                    continue
+                node_id = standby.pop(0)
+                active.add(node_id)
+                events.append((at_s, "join", node_id))
+            else:
+                replaced = action == "crash" and spec.replace_crashed \
+                    and bool(standby)
+                floor = max(spec.min_size, 4)
+                if len(active) - 1 + (1 if replaced else 0) < floor:
+                    continue
+                victim = sorted(active)[pick.randrange(len(active))]
+                active.discard(victim)
+                events.append((at_s, action, victim))
+                if replaced:
+                    node_id = standby.pop(0)
+                    active.add(node_id)
+                    events.append((at_s, "join", node_id))
+                # A departed node may later rejoin: gracefully-left nodes
+                # return to the back of the standby pool, crashed nodes are
+                # gone for good.
+                if action == "leave":
+                    standby.append(victim)
+        return events

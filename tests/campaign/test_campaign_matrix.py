@@ -13,13 +13,27 @@ import json
 import pytest
 
 from repro.testbed.campaign import (
+    CampaignCell,
+    TopologySpec,
     campaign_report,
     default_cells,
     run_cell,
     run_matrix,
 )
+from repro.testbed.harness import stable_seed
 
 CELLS = default_cells(quick=True)
+
+CHURN_FAULTS = ("node-churn-rate", "permanent-crash-with-replacement")
+#: the churn sweep: both churn fault models across both protocol families
+#: that the reconfiguration layer supports
+CHURN_SWEEP = tuple(
+    CampaignCell(protocol=protocol, topology=TopologySpec.single(6),
+                 fault=fault, flavor="uniform", stream_epochs=8,
+                 seed=stable_seed(0, protocol, "sh6", fault, "uniform",
+                                  "churn-sweep", 8))
+    for protocol in ("honeybadger-sc", "beat")
+    for fault in CHURN_FAULTS)
 
 
 def test_default_matrix_is_large_enough():
@@ -70,3 +84,38 @@ def test_scenario_cells_byte_stable_across_worker_counts():
         assert outcome.phases, outcome.cell_id
         assert {"ledger-continuity", "scenario-recovery"} <= {
             verdict.name for verdict in outcome.invariants}
+
+
+@pytest.mark.campaign
+@pytest.mark.parametrize("cell", CHURN_SWEEP,
+                         ids=[cell.cell_id for cell in CHURN_SWEEP])
+def test_churn_sweep_conformance(cell):
+    # Both churn fault models, across both protocol families, must decide
+    # and pass both reconfiguration verdicts on top of the base suite.
+    outcome = run_cell(cell, quick=True)
+    names = {verdict.name for verdict in outcome.invariants}
+    assert {"ledger-continuity-across-reconfig",
+            "liveness-under-bounded-churn"} <= names, names
+    assert outcome.ok and outcome.decided, outcome.to_json()
+    assert outcome.committees, outcome.cell_id
+    if cell.fault == "permanent-crash-with-replacement":
+        assert any(record["crashed"] for record in outcome.committees)
+
+
+@pytest.mark.campaign
+def test_churn_cells_byte_stable_across_worker_counts():
+    # The churn cells' committee trails and verdicts must serialize to the
+    # identical CAMPAIGN.json fragment whether the matrix runs serially or
+    # across worker processes.
+    cells = [cell for cell in CELLS if cell.fault in CHURN_FAULTS]
+    assert len(cells) == 2, [cell.cell_id for cell in cells]
+    serial = run_matrix(cells, quick=True, workers=1)
+    parallel = run_matrix(cells, quick=True, workers=3)
+    serial_doc = json.dumps(campaign_report(serial, base_seed=0, quick=True),
+                            sort_keys=True)
+    parallel_doc = json.dumps(campaign_report(parallel, base_seed=0,
+                                              quick=True), sort_keys=True)
+    assert serial_doc == parallel_doc
+    for outcome in serial:
+        assert outcome.ok and outcome.decided, outcome.to_json()
+        assert outcome.committees, outcome.cell_id

@@ -161,3 +161,56 @@ class TestHarnessIntegration:
         direct = cache.domain(4, 21)
         assert all(x is y for x, y in zip(via_helper.threshold_sig,
                                           direct.threshold_sig))
+
+
+class TestCommitteeDomains:
+    """The epoch/committee domain dimension added for dynamic membership:
+    two different committees of the same ``(n, seed)`` must never share
+    keys, while the empty domain stays bit-identical to the legacy path."""
+
+    def test_empty_domain_is_the_legacy_deal(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        legacy = cache.domain(4, 13)
+        explicit = cache.domain(4, 13, domain=())
+        assert_domains_bit_identical(legacy, explicit)
+        assert deal_scheme(SCHEME_THRESHOLD_SIG, 4, 13, domain=())[0] \
+            .private_share.secret == \
+            deal_scheme(SCHEME_THRESHOLD_SIG, 4, 13)[0].private_share.secret
+
+    def test_different_committees_get_different_keys(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        a = cache.domain(4, 13, domain=("committee", 0, 1, 2, 3))
+        b = cache.domain(4, 13, domain=("committee", 0, 1, 2, 4))
+        plain = cache.domain(4, 13)
+        secrets = {a.threshold_sig[0].private_share.secret,
+                   b.threshold_sig[0].private_share.secret,
+                   plain.threshold_sig[0].private_share.secret}
+        assert len(secrets) == 3
+        signing = {a.signing_keys[0].secret, b.signing_keys[0].secret,
+                   plain.signing_keys[0].secret}
+        assert len(signing) == 3
+
+    def test_recurring_committee_is_a_cache_hit(self, tmp_path):
+        cache = DealerCache(directory=str(tmp_path))
+        committee = ("committee", 0, 1, 2, 3)
+        first = cache.domain(4, 13, domain=committee)
+        misses = cache.misses
+        second = cache.domain(4, 13, domain=committee)
+        assert cache.misses == misses and cache.hits > 0
+        assert_domains_bit_identical(first, second)
+
+    def test_committee_domain_disk_round_trip(self, tmp_path):
+        committee = ("committee", 1, 2, 3, 4)
+        writer = DealerCache(directory=str(tmp_path))
+        dealt = writer.domain(4, 17, domain=committee)
+        reader = DealerCache(directory=str(tmp_path))
+        loaded = reader.domain(4, 17, domain=committee)
+        assert reader.hits > 0 and reader.misses == 0
+        assert_domains_bit_identical(dealt, loaded)
+
+    def test_domain_deal_is_deterministic(self):
+        committee = ("committee", 2, 3, 4, 5)
+        a = deal_scheme(SCHEME_THRESHOLD_SIG, 4, 99, domain=committee)
+        b = deal_scheme(SCHEME_THRESHOLD_SIG, 4, 99, domain=committee)
+        assert [s.private_share.secret for s in a] == \
+            [s.private_share.secret for s in b]
