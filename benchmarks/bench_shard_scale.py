@@ -1,0 +1,105 @@
+"""Wall-clock scaling of the sharded simulator against the classic heap.
+
+Times complete multi-hop consensus runs -- the paper's HoneyBadger-SC
+protocol on the WIFI-like scale profile -- three ways per cluster grid:
+
+* ``classic``: the single-process, single-heap simulator;
+* ``sharded``: one shard per cluster under conservative synchronization,
+  all shards stepped in-process (``shard_workers=1``);
+* ``sharded_mp``: the same barrier schedule spread over forked worker
+  processes (``min(4, cpu_count)``).
+
+Rates are reported as runs/second so they slot into the
+``results_ops_per_sec`` table of ``BENCH_hotpath.json`` alongside the other
+hot paths.  The determinism contract guarantees ``sharded`` and
+``sharded_mp`` produce bit-identical results, so the mp run is timed against
+the identical workload.
+
+Quick budgets measure the 4x4 grid only; full budgets add 8x8 and 16x16
+(the grid the classic heap was previously the ceiling for).  On a
+single-core machine ``sharded_mp`` would fork with one worker and measure
+the same configuration twice, so the in-process rate is reused instead --
+there the ``shard_speedup`` ratio reports the synchronization *overhead*
+bound (< 1x), which is what ``scripts/perf_smoke.py`` gates machine-aware.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.testbed.harness import run_multihop_consensus  # noqa: E402
+from repro.testbed.scenarios import Scenario  # noqa: E402
+
+PROTOCOL = "honeybadger-sc"
+GRIDS_QUICK = [(4, 4)]
+GRIDS_FULL = [(8, 8), (16, 16)]
+
+
+def shard_workers() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+def _timed_run(scenario, shards=None, workers=1) -> float:
+    start = time.perf_counter()
+    result = run_multihop_consensus(PROTOCOL, scenario, seed=0, shards=shards,
+                                    shard_workers=workers)
+    wall = time.perf_counter() - start
+    assert result.decided, "benchmark scenario failed to decide"
+    return wall
+
+
+def bench_shard(budget: float) -> dict[str, float]:
+    """Classic vs sharded vs multi-process wall clock, as runs/second."""
+    grids = GRIDS_QUICK if budget < 0.5 else GRIDS_QUICK + GRIDS_FULL
+    workers = shard_workers()
+    results: dict[str, float] = {}
+    for num_clusters, cluster_size in grids:
+        scenario = Scenario.scale_multi_hop(num_clusters, cluster_size)
+        label = f"{num_clusters}x{cluster_size}"
+        classic = _timed_run(scenario)
+        sharded = _timed_run(scenario, shards=num_clusters, workers=1)
+        if workers > 1:
+            sharded_mp = _timed_run(scenario, shards=num_clusters,
+                                    workers=workers)
+        else:
+            # forking a single worker measures the same configuration with
+            # added pipe traffic; reuse the in-process rate instead
+            sharded_mp = sharded
+        results[f"shard_multihop_{label}_classic"] = 1.0 / classic
+        results[f"shard_multihop_{label}_sharded"] = 1.0 / sharded
+        results[f"shard_multihop_{label}_sharded_mp"] = 1.0 / sharded_mp
+    return results
+
+
+def shard_speedups(results: dict[str, float]) -> dict[str, float]:
+    """Derive the gated ratios from the largest grid that was measured."""
+    for label in ("16x16", "8x8", "4x4"):
+        classic = results.get(f"shard_multihop_{label}_classic")
+        sharded = results.get(f"shard_multihop_{label}_sharded")
+        sharded_mp = results.get(f"shard_multihop_{label}_sharded_mp")
+        if classic and sharded and sharded_mp:
+            return {
+                # < 1x on a single core (pure synchronization overhead);
+                # > 1x once workers actually run on separate cores
+                "shard_speedup": sharded_mp / classic,
+                "shard_sync_overhead": sharded / classic,
+            }
+    return {}
+
+
+if __name__ == "__main__":
+    import json
+    quick = "--quick" in sys.argv
+    measurements = bench_shard(0.15 if quick else 1.0)
+    measurements |= shard_speedups(measurements)
+    print(json.dumps({key: round(value, 4)
+                      for key, value in measurements.items()}, indent=2,
+                     sort_keys=True))

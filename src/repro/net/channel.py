@@ -11,6 +11,7 @@ parallel consensus components expensive (N times the channel contention).
 from __future__ import annotations
 
 import itertools
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, TYPE_CHECKING  # noqa: F401
 
@@ -151,6 +152,19 @@ class WirelessChannel:
             self.trace.record_collision(self.name)
             sender_mac.on_transmit_done(frame, collided=True)
             return
+        self._deliver(transmission)
+        sender_mac.on_transmit_done(frame, collided=False)
+
+    def _deliver(self, transmission: Transmission) -> None:
+        """Deliver an uncollided transmission to every attached receiver.
+
+        Split out of :meth:`_finish` so the sharded backbone mirror
+        (:mod:`repro.net.shard`) can deliver remote *ghost* transmissions --
+        which have no locally attached sender -- through exactly the same
+        half-duplex / hop-delay / adversary pipeline.
+        """
+        frame = transmission.frame
+        sender_mac = transmission.sender_mac
         for mac in self._macs:
             if mac is sender_mac:
                 continue
@@ -181,4 +195,45 @@ class WirelessChannel:
             self.trace.record_delivery(self.name)
             self.sim.schedule(delay, lambda m=mac: m.node.deliver_frame(frame),
                               label=f"rx:{self.name}:{frame.frame_id}")
-        sender_mac.on_transmit_done(frame, collided=False)
+
+
+# ---------------------------------------------------------------------------
+# shard-boundary frame codec
+# ---------------------------------------------------------------------------
+
+class BoundaryCodecError(ValueError):
+    """Raised when a frame cannot cross a shard boundary."""
+
+
+def encode_boundary_frame(frame: Frame) -> bytes:
+    """Serialize a frame for transport across a shard boundary.
+
+    Digest-preserving by construction: the payload (a signed
+    :class:`repro.core.packet.Packet`) carries its cached ``digest`` as a
+    plain field, so the receiving shard sees exactly the bytes, signature and
+    digest the sender put on the air -- adversary and link-fault bookkeeping
+    at the receiving shard operate on an indistinguishable frame.  Frames
+    with a pending ``builder`` cannot cross (content is only materialised at
+    channel-access time, which already happened for anything transmitted).
+    """
+    if frame.builder is not None:
+        raise BoundaryCodecError(
+            f"frame {frame.frame_id} from {frame.sender} still has a pending "
+            f"builder; only materialised (transmitted) frames cross shards")
+    try:
+        return pickle.dumps(
+            (frame.sender, frame.payload, frame.size_bytes, frame.channel,
+             frame.frame_id),
+            protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pragma: no cover - payload must be picklable
+        raise BoundaryCodecError(
+            f"frame {frame.frame_id} payload is not serializable: {exc}") from exc
+
+
+def decode_boundary_frame(data: bytes) -> Frame:
+    """Reconstruct a frame serialized by :func:`encode_boundary_frame`."""
+    sender, payload, size_bytes, channel, frame_id = pickle.loads(data)
+    frame = Frame(sender=sender, payload=payload, size_bytes=size_bytes,
+                  channel=channel)
+    frame.frame_id = frame_id  # keep the home shard's id (trace labels)
+    return frame

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 # Compact the heap once at least this many cancelled events are queued AND
 # they outnumber the live ones (amortised O(1) per cancellation).
@@ -100,17 +100,34 @@ class Simulator:
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, callback: Callable[[], None],
                  label: str = "") -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be a non-negative, non-NaN number: a NaN compares
+        false against everything, so it used to slip past the ``< 0`` guard
+        and silently poison the heap invariant (every pop after it is
+        arbitrary, so the run is no longer a function of the seed).
+        """
+        if delay != delay:  # NaN: the only value that breaks heap ordering
+            raise SimulationError(
+                f"cannot schedule event {label or '<unlabelled>'!r}: "
+                f"delay is NaN")
         if delay < 0:
-            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+            raise SimulationError(
+                f"cannot schedule event {label or '<unlabelled>'!r} in the "
+                f"past (delay={delay})")
         return self._push(self._now + delay, callback, label)
 
     def schedule_at(self, when: float, callback: Callable[[], None],
                     label: str = "") -> Event:
         """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when != when:
+            raise SimulationError(
+                f"cannot schedule event {label or '<unlabelled>'!r}: "
+                f"time is NaN")
         if when < self._now:
             raise SimulationError(
-                f"cannot schedule event at {when} before current time {self._now}")
+                f"cannot schedule event {label or '<unlabelled>'!r} at "
+                f"{when} before current time {self._now}")
         return self._push(when, callback, label)
 
     def _push(self, when: float, callback: Callable[[], None],
@@ -178,6 +195,47 @@ class Simulator:
             self._running = False
         return self._now
 
+    def run_window(self, until: float,
+                   poll: Optional[Callable[[], None]] = None) -> int:
+        """Run every event with ``time <= until``, then land exactly on ``until``.
+
+        The conservative-synchronization primitive: a shard executes one
+        barrier window ``(now, until]`` with this call.  Events scheduled at
+        exactly ``until`` execute (cross-shard transmissions land precisely on
+        the horizon, so the boundary must be inclusive), an empty window
+        fast-forwards the clock to ``until`` without touching the heap, and
+        ``poll`` -- when given -- runs after every processed event (the
+        multi-hop harness uses it to couple local decisions into the global
+        domain at the same per-event cadence as :meth:`run_until`).
+
+        Returns the number of events processed in the window.
+        """
+        processed = 0
+        queue = self._queue
+        pop = heapq.heappop
+        self._running = True
+        try:
+            while queue:
+                when, _, event = queue[0]
+                if when > until:
+                    break
+                pop(queue)
+                if event.cancelled:
+                    self._cancelled_queued[0] -= 1
+                    continue
+                event._cancel_tally = None  # see run(): popped events must not tally
+                self._now = when
+                event.callback()
+                self._events_processed += 1
+                processed += 1
+                if poll is not None:
+                    poll()
+            if until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return processed
+
     def run_until(self, predicate: Callable[[], bool], timeout: float) -> bool:
         """Run until ``predicate()`` is true or ``timeout`` virtual seconds pass.
 
@@ -211,6 +269,78 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest live (non-cancelled) queued event, or None.
+
+        Cancelled entries found at the top are dropped on the way (they would
+        be skipped by the run loops anyway), so the answer is exact.  The
+        sharded engine uses this as a lookahead ingredient: no fresh work --
+        in particular no fresh backbone channel access -- can originate
+        before this instant.
+        """
+        queue = self._queue
+        while queue:
+            when, _, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled_queued[0] -= 1
+                continue
+            return when
+        return None
+
+
+class ShardedSimulator:
+    """Facade advancing several per-shard :class:`Simulator`s in lockstep.
+
+    Each member simulator owns its own event heap, sequence counter and RNG
+    stream; the facade advances all of them window by window under a common
+    horizon (classic conservative synchronization).  It deliberately knows
+    nothing about *how* horizons are chosen or what crosses shard boundaries
+    -- that is :mod:`repro.net.shard` -- it only guarantees the lockstep
+    discipline and aggregates the bookkeeping the single-simulator API
+    exposes (``now``, ``events_processed``, ``pending_events``).
+    """
+
+    def __init__(self, shards: Sequence["Simulator"]) -> None:
+        if not shards:
+            raise SimulationError("a sharded simulator needs at least one shard")
+        self.shards = list(shards)
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """The last barrier horizon every shard has reached."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed across all shards."""
+        return sum(shard.events_processed for shard in self.shards)
+
+    def pending_events(self) -> int:
+        """Total queued events across all shards."""
+        return sum(shard.pending_events() for shard in self.shards)
+
+    def run_window(self, until: float,
+                   polls: Optional[Sequence[Optional[Callable[[], None]]]] = None
+                   ) -> list[int]:
+        """Advance every shard to ``until``; returns per-shard event counts.
+
+        ``until`` must not move backwards (shards have already executed up to
+        the previous horizon).  ``polls`` optionally supplies one per-event
+        poll callback per shard (see :meth:`Simulator.run_window`).
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run a window back to {until}; shards are already "
+                f"synchronized at {self._now}")
+        if polls is None:
+            polls = [None] * len(self.shards)
+        processed = [shard.run_window(until, poll=poll)
+                     for shard, poll in zip(self.shards, polls)]
+        self._now = until
+        return processed
 
 
 class Timer:

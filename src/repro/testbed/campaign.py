@@ -81,11 +81,17 @@ class TopologySpec:
     num_clusters: int = 0
     cluster_size: int = 0
     profile: str = "paper"  # "paper" | "scale"
+    #: > 0 runs the cell on the sharded simulator (conservative
+    #: synchronization, one event loop per cluster block); 0 keeps the
+    #: classic single-heap path.  Labels and cell ids are unaffected.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.profile not in ("paper", "scale"):
             raise ValueError(f"unknown topology profile {self.profile!r}; "
                              f"known: paper, scale")
+        if self.shards and not self.is_multi_hop:
+            raise ValueError("shards require a multi-hop topology")
 
     @classmethod
     def single(cls, num_nodes: int, profile: str = "paper") -> "TopologySpec":
@@ -94,10 +100,10 @@ class TopologySpec:
 
     @classmethod
     def multi(cls, num_clusters: int, cluster_size: int,
-              profile: str = "paper") -> "TopologySpec":
+              profile: str = "paper", shards: int = 0) -> "TopologySpec":
         """A clustered multi-hop deployment."""
         return cls(kind="multi-hop", num_clusters=num_clusters,
-                   cluster_size=cluster_size, profile=profile)
+                   cluster_size=cluster_size, profile=profile, shards=shards)
 
     @property
     def is_multi_hop(self) -> bool:
@@ -558,6 +564,22 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
             faults=("none", "crash-f", "garbage", "quorum-loss"),
             seeds=(0,), base_seed=base_seed)
         cells.extend(large.cells())
+        # Grids past the classic heap's practical ceiling, on the sharded
+        # simulator (one shard per cluster).  16x16 also runs under crash
+        # faults; 32x32 (1024 nodes, ~1.6M events) stays fault-free to keep
+        # the full campaign's wall clock bounded.
+        sharded = CampaignSpec(
+            protocols=("honeybadger-sc", "beat"),
+            topologies=(TopologySpec.multi(16, 16, profile="scale",
+                                           shards=16),),
+            faults=("none", "crash-f"), seeds=(0,), base_seed=base_seed)
+        cells.extend(sharded.cells())
+        frontier = CampaignSpec(
+            protocols=("honeybadger-sc",),
+            topologies=(TopologySpec.multi(32, 32, profile="scale",
+                                           shards=32),),
+            faults=("none",), seeds=(0,), base_seed=base_seed)
+        cells.extend(frontier.cells())
     return cells
 
 
@@ -643,10 +665,13 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
     else:
         workload_spec = WorkloadSpec(flavor=cell.flavor, **sizes)
         if cell.topology.is_multi_hop:
+            # shard_workers stays 1: campaign runners already parallelise
+            # across cells, and worker count never changes results anyway
             result = run_multihop_consensus(cell.protocol, scenario,
                                             seed=cell.seed,
                                             workload_spec=workload_spec,
-                                            observer=observer)
+                                            observer=observer,
+                                            shards=cell.topology.shards or None)
         else:
             result = run_consensus(cell.protocol, scenario, seed=cell.seed,
                                    workload_spec=workload_spec,

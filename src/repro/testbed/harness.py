@@ -631,7 +631,9 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
                            batched: bool = True, seed: int = 0,
                            config: Optional[ConsensusConfig] = None,
                            workload_spec: Optional[WorkloadSpec] = None,
-                           observer: Optional[RunObserver] = None) -> MultiHopRunResult:
+                           observer: Optional[RunObserver] = None,
+                           shards: Optional[int] = None,
+                           shard_workers: int = 1) -> MultiHopRunResult:
     """Run the two-phase local + global consensus on a multi-hop scenario.
 
     Phase one runs ``protocol`` inside every cluster on the cluster's own
@@ -644,10 +646,27 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
     latencies (``local_latencies_s``, virtual seconds) and per-leader block
     digests; ``latency_s`` is the time the *slowest honest leader* decides
     globally.
+
+    ``shards`` (``None`` = the classic single-heap path, bit-for-bit
+    unchanged) partitions the clusters into that many contiguous groups,
+    each with its own event heap and RNG streams, synchronized
+    conservatively at barrier windows (see :mod:`repro.net.shard`).  A
+    sharded result is a pure function of ``(protocol, scenario, workload,
+    batched, seed, shards)``; ``shard_workers`` only picks how many worker
+    processes execute the identical barrier schedule, so every worker count
+    reproduces every metric bit for bit (property-tested in
+    ``tests/testbed/test_shard_identity.py``).
     """
     if not scenario.is_multi_hop:
         raise DeploymentError("run_multihop_consensus expects a multi-hop scenario")
     _reject_streaming_only_strategies(scenario)
+    if shards is not None:
+        from repro.testbed.sharding import run_sharded_multihop_consensus
+        return run_sharded_multihop_consensus(
+            protocol, scenario, shards=shards, shard_workers=shard_workers,
+            batch_size=batch_size, transaction_bytes=transaction_bytes,
+            batched=batched, seed=seed, config=config,
+            workload_spec=workload_spec, observer=observer)
     global_config = ConsensusConfig(
         epoch=("global", (config or ConsensusConfig()).epoch),
         use_threshold_encryption=False,
@@ -767,6 +786,7 @@ def run_multihop_consensus(protocol: str, scenario: Scenario,
         channel_accesses=deployment.trace.total_channel_accesses,
         bytes_sent=deployment.trace.total_bytes_sent,
         collisions=deployment.trace.total_collisions,
+        sim_events=deployment.sim.events_processed,
         seed=seed)
 
 

@@ -316,6 +316,8 @@ class MultiHopRunResult:
     channel_accesses: int = 0
     bytes_sent: int = 0
     collisions: int = 0
+    #: total simulator events processed (summed over shards when sharded)
+    sim_events: int = 0
     seed: int = 0
 
     @property
