@@ -40,6 +40,7 @@ from bench_scale_setup import (  # noqa: E402
     bench_dealer,
     dealer_speedups,
 )
+from bench_ingress import OFFERED_TPS, bench_ingress  # noqa: E402
 from bench_scenario import SCENARIO_PACK, bench_scenario  # noqa: E402
 from bench_shard_scale import (  # noqa: E402
     bench_shard,
@@ -352,7 +353,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     with crypto_backend.use("pure"):
         for section in (bench_group_exp, bench_threshold_shares, bench_erasure,
                         bench_simulator, bench_dealer, bench_streaming,
-                        bench_scenario, bench_shard):
+                        bench_ingress, bench_scenario, bench_shard):
             results.update(section(budget))
     results.update(bench_native_backend(budget))
     speedups = dealer_speedups(results)
@@ -387,6 +388,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "config": {
             "dealer_num_nodes": DEALER_NUM_NODES,
             "streaming_epochs": STREAM_EPOCHS,
+            "ingress_offered_tps": OFFERED_TPS,
             "scenario_pack": SCENARIO_PACK,
             "num_parties": NUM_PARTIES,
             "threshold": THRESHOLD,

@@ -1,0 +1,109 @@
+"""Wall-clock benchmark of the ingress layer: sustained simulated tx/s.
+
+The client-facing ingress (class-marked aggregated arrivals, priority
+mempools with deficit-weighted round-robin, admission gates) sits on the
+streaming hot path: every arrival takes a gateway ``submit`` and every
+epoch a DRR ``take``.  This benchmark measures how many *committed
+transactions per wall-clock second* a saturated three-class single-hop
+HoneyBadger stream pushes through the simulator with the shed-mode gate
+installed, and merges the rate into ``BENCH_hotpath.json`` (the ops/sec
+trajectory file) so ``scripts/perf_smoke.py`` can gate regressions of the
+ingress path the same way it gates the plain streaming path.
+
+Run directly (merges into the JSON)::
+
+    PYTHONPATH=src python benchmarks/bench_ingress.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.testbed.ingress import ingress_profile  # noqa: E402
+from repro.testbed.scenarios import Scenario  # noqa: E402
+from repro.testbed.streaming import (  # noqa: E402
+    StreamingSpec,
+    run_streaming_consensus,
+)
+from repro.testbed.workload import ArrivalSpec  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(_ROOT, "BENCH_hotpath.json")
+
+#: epochs per measured stream (short enough for the perf-smoke budget,
+#: long enough that gateway submits and DRR takes dominate setup)
+STREAM_EPOCHS = 8
+STREAM_SEED = 654
+#: offered load past the scale profile's saturation point, so the
+#: admission gate and the per-class heaps are actually exercised
+OFFERED_TPS = 120.0
+
+
+def _stream_once() -> tuple[int, int]:
+    """One saturated ingress stream; returns (committed txs, epochs)."""
+    spec = StreamingSpec(
+        epochs=STREAM_EPOCHS, batch_size=4,
+        arrival=ArrivalSpec(rate_tps=OFFERED_TPS, transaction_bytes=48,
+                            max_mempool=256))
+    result = run_streaming_consensus(
+        "honeybadger-sc", Scenario.scale_single_hop(4), spec,
+        seed=STREAM_SEED, ingress=ingress_profile("three-class-shed"))
+    assert result.decided
+    return result.committed_transactions, result.epochs_completed
+
+
+def bench_ingress(budget: float) -> dict[str, float]:
+    """Committed-tx rate per wall-clock second through the ingress path."""
+    committed = 0
+    runs = 0
+    start = time.perf_counter()
+    elapsed = 0.0
+    while elapsed < budget or runs == 0:
+        run_committed, _ = _stream_once()
+        committed += run_committed
+        runs += 1
+        elapsed = time.perf_counter() - start
+    return {"ingress_stream_tx_per_sec": committed / elapsed}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short timing budgets (noisier, for smoke tests)")
+    parser.add_argument("--out", default=DEFAULT_OUTPUT,
+                        help="BENCH_hotpath.json to merge into")
+    args = parser.parse_args(argv)
+
+    budget = 0.3 if args.quick else 2.0
+    results = bench_ingress(budget)
+
+    document: dict = {}
+    if os.path.exists(args.out):
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError:
+            document = {}
+    document.setdefault("results_ops_per_sec", {}).update(
+        {key: round(value, 2) for key, value in results.items()})
+    document.setdefault("config", {})["ingress_offered_tps"] = OFFERED_TPS
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps({"results_ops_per_sec": results}, indent=2,
+                     sort_keys=True))
+    print(f"\nmerged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

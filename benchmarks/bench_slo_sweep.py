@@ -1,0 +1,36 @@
+"""Client-observed SLOs -- admission policy vs. offered load, per class.
+
+Ingress streaming runs with three transaction classes (high / standard /
+best-effort; DRR service shares 4:2:1) swept across offered loads
+straddling saturation and the three canned admission policies.  Claim
+checks pin that past saturation the gated policies keep high-priority p99
+bounded while measurably shedding or deferring best-effort traffic, that
+the protected class is never shed, and that every row's dispositions
+conserve its offered transactions.
+
+Thin wrapper over the ``slo-sweep`` spec in :mod:`repro.expts.slo`; run the
+whole registry with ``PYTHONPATH=src python scripts/run_experiments.py``.
+"""
+
+import pytest
+
+from spec_wrapper import bind
+
+SPEC, _result = bind("slo-sweep")
+
+
+@pytest.mark.parametrize("cell_index", range(len(SPEC.grid)),
+                         ids=SPEC.cell_ids())
+def test_slo_sweep_cell(cell_index):
+    """Every grid cell produces schema-valid rows."""
+    result = _result()
+    rows = result.cell_rows[cell_index]
+    assert rows, f"cell {cell_index} produced no rows"
+    SPEC.validate_rows(rows)
+
+
+@pytest.mark.parametrize("check", SPEC.checks,
+                         ids=[check.__name__ for check in SPEC.checks])
+def test_slo_sweep_claim(check):
+    """The SLO claims attached to the spec hold on the full grid."""
+    check(_result().rows)

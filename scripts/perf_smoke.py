@@ -31,9 +31,11 @@ applies every quick-mode invariant plus
   4x4 bit-identity smoke across ``shard_workers`` 1 vs 2.
 
 The streaming gates (``streaming_tx_per_sec``,
-``scenario_stream_tx_per_sec``) ride in the gated set so a slowdown of the
-multi-epoch path (mempool, pipelining bookkeeping, checkpoint/GC) or the
-scenario controller fails like any crypto or simulator hot-path regression.
+``scenario_stream_tx_per_sec``, ``ingress_stream_tx_per_sec``) ride in the
+gated set so a slowdown of the multi-epoch path (mempool, pipelining
+bookkeeping, checkpoint/GC), the scenario controller or the client-facing
+ingress (gateway submits, DRR takes) fails like any crypto or simulator
+hot-path regression.
 
 Usage::
 
@@ -75,6 +77,7 @@ GATED_METRICS = (
     "dealer_domain_cached_n64",
     "streaming_tx_per_sec",
     "scenario_stream_tx_per_sec",
+    "ingress_stream_tx_per_sec",
     "shard_multihop_8x8_classic",
     "shard_multihop_8x8_sharded",
 )

@@ -953,3 +953,4 @@ IMPROVEMENT = register(ExperimentSpec(
 import repro.expts.load  # noqa: E402,F401  (registers load-sweep / streaming-pipeline)
 import repro.expts.scenario  # noqa: E402,F401  (registers scenario-robustness)
 import repro.expts.churn  # noqa: E402,F401  (registers churn-robustness)
+import repro.expts.slo  # noqa: E402,F401  (registers slo-sweep)

@@ -40,10 +40,12 @@ from repro.testbed.harness import (
     run_multihop_consensus,
     stable_seed,
 )
+from repro.testbed.ingress import INGRESS_PROFILES, ingress_profile
 from repro.testbed.invariants import (
     InvariantVerdict,
     RunObserver,
     check_all,
+    check_ingress_conservation,
     check_ledger_continuity,
     check_ledger_continuity_across_reconfig,
     check_liveness_under_bounded_churn,
@@ -326,7 +328,13 @@ class CampaignCell:
     (``repro.testbed.scenario_packs``) of time-varying network phases to
     drive during a streaming cell; scenario cells additionally gate on the
     ledger-continuity and degradation/recovery invariants and record
-    per-phase metrics in their outcome.
+    per-phase metrics in their outcome.  ``ingress`` names a canned
+    :data:`repro.testbed.ingress.INGRESS_PROFILES` entry to install a
+    client-facing ingress (class-marked arrivals, priority mempools,
+    admission gate) in front of a streaming cell; ingress cells run at
+    :data:`INGRESS_STREAM_RATE_TPS` offered load, additionally gate on the
+    transaction-conservation invariant and record per-class dispositions
+    in their outcome.
     """
 
     protocol: str
@@ -336,6 +344,7 @@ class CampaignCell:
     seed: int = 0
     stream_epochs: int = 0
     scenario: str = ""
+    ingress: str = ""
 
     def __post_init__(self) -> None:
         if self.fault not in FAULT_MODELS:
@@ -355,14 +364,32 @@ class CampaignCell:
                 raise ValueError(
                     f"unknown scenario pack {self.scenario!r}; "
                     f"shipped: {list(available_packs())}")
+        if self.ingress:
+            if not self.stream_epochs:
+                raise ValueError(f"ingress profile {self.ingress!r} needs a "
+                                 f"streaming cell; set stream_epochs > 0")
+            if self.ingress not in INGRESS_PROFILES:
+                raise ValueError(
+                    f"unknown ingress profile {self.ingress!r}; "
+                    f"known: {sorted(INGRESS_PROFILES)}")
+            if self.topology.is_multi_hop:
+                raise ValueError(
+                    "ingress gateways front the single-hop committee; "
+                    "multi-hop ingress cells are not supported")
+            if self.fault in ("node-churn-rate",
+                              "permanent-crash-with-replacement"):
+                raise ValueError(
+                    f"fault model {self.fault!r} reconfigures the committee; "
+                    f"membership and ingress cannot be combined yet")
 
     @property
     def cell_id(self) -> str:
         """Stable human-readable identifier (also the replay key)."""
         stream = f"|stream{self.stream_epochs}" if self.stream_epochs else ""
         scenario = f"|scn:{self.scenario}" if self.scenario else ""
+        ingress = f"|ing:{self.ingress}" if self.ingress else ""
         return (f"{self.protocol}|{self.topology.label}|{self.fault}"
-                f"|{self.flavor}|s{self.seed}{stream}{scenario}")
+                f"|{self.flavor}|s{self.seed}{stream}{scenario}{ingress}")
 
 
 @dataclass
@@ -390,6 +417,10 @@ class CellOutcome:
     #: per-epoch committee trail for cells under a membership-churn fault
     #: (empty otherwise)
     committees: list[dict] = field(default_factory=list)
+    ingress: str = ""
+    #: per-class admission dispositions + client-observed latency
+    #: percentiles for ingress cells (empty otherwise)
+    ingress_classes: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict[str, Any]:
         """JSON-stable representation (no wall-clock, no floats-as-NaN)."""
@@ -415,6 +446,8 @@ class CellOutcome:
             "scenario": self.scenario,
             "phases": self.phases,
             "committees": self.committees,
+            "ingress": self.ingress,
+            "ingress_classes": self.ingress_classes,
         }
 
 
@@ -492,6 +525,18 @@ CHURN_QUICK_CELLS = (
      "telemetry", 8),
 )
 
+#: ingress quick cells: streaming runs behind the client-facing ingress
+#: (class-marked arrivals, priority mempools, admission gate) at an offered
+#: load past the scale profile's saturation point, each additionally gated
+#: on the transaction-conservation invariant
+#: (:func:`check_ingress_conservation`)
+INGRESS_QUICK_CELLS = (
+    ("honeybadger-sc", TopologySpec.single(4, profile="scale"), "none",
+     "uniform", 8, "three-class-shed"),
+    ("beat", TopologySpec.single(4, profile="scale"), "stream-crash-epoch",
+     "uniform", 8, "three-class-defer"),
+)
+
 
 def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     """The bounded default matrix.
@@ -504,9 +549,11 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
     :data:`STREAMING_QUICK_CELLS` (mid-stream crash, healing partition
     spanning epochs, fault-free single-/multi-hop streams), the three
     scenario-pack cells of :data:`SCENARIO_QUICK_CELLS` (time-varying
-    degradation with recovery gates) and the two membership-churn cells of
+    degradation with recovery gates), the two membership-churn cells of
     :data:`CHURN_QUICK_CELLS` (join/leave churn, permanent crash with
-    replacement).  Full mode adds
+    replacement) and the two ingress cells of :data:`INGRESS_QUICK_CELLS`
+    (priority mempool + admission gate at a saturating offered load, gated
+    on transaction conservation).  Full mode adds
     larger single-hop deployments (n=7, n=10) and a second seed per cell at
     uniform flavor on the fault models that scale with n, and a large-n
     sweep (scale profile, n=64 single-hop and 8x8 / 16x4 clustered) over
@@ -551,6 +598,13 @@ def default_cells(quick: bool = True, base_seed: int = 0) -> list[CampaignCell]:
             stream_epochs=epochs,
             seed=stable_seed(base_seed, protocol, topology.label, fault,
                              flavor, "churn", epochs)))
+    for protocol, topology, fault, flavor, epochs, profile \
+            in INGRESS_QUICK_CELLS:
+        cells.append(CampaignCell(
+            protocol=protocol, topology=topology, fault=fault, flavor=flavor,
+            stream_epochs=epochs, ingress=profile,
+            seed=stable_seed(base_seed, protocol, topology.label, fault,
+                             flavor, "ingress", profile, epochs)))
     if not quick:
         extra = CampaignSpec(
             topologies=(TopologySpec.single(7), TopologySpec.single(10)),
@@ -599,6 +653,10 @@ FULL_WORKLOAD = dict(batch_size=8, transaction_bytes=64)
 #: backlogged system
 STREAM_RATE_TPS = 1.0
 STREAM_MEMPOOL = 256
+#: offered load of *ingress* streaming cells (tx/s of virtual time, whole
+#: network) -- past the scale profile's ~45 tx/s saturation point, so the
+#: admission gate visibly sheds/defers while under conformance checking
+INGRESS_STREAM_RATE_TPS = 120.0
 
 
 def build_cell_scenario(cell: CampaignCell, quick: bool = True) -> Scenario:
@@ -651,15 +709,17 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
     pack = load_pack(cell.scenario) if cell.scenario else None
     phases: list[dict] = []
     if cell.stream_epochs:
+        ingress = ingress_profile(cell.ingress) if cell.ingress else None
+        rate = INGRESS_STREAM_RATE_TPS if cell.ingress else STREAM_RATE_TPS
         stream = StreamingSpec(
             epochs=cell.stream_epochs, batch_size=sizes["batch_size"],
-            arrival=ArrivalSpec(rate_tps=STREAM_RATE_TPS,
+            arrival=ArrivalSpec(rate_tps=rate,
                                 transaction_bytes=sizes["transaction_bytes"],
                                 flavor=cell.flavor,
                                 max_mempool=STREAM_MEMPOOL))
         result = run_streaming_consensus(cell.protocol, scenario, stream,
                                          seed=cell.seed, observer=observer,
-                                         pack=pack)
+                                         pack=pack, ingress=ingress)
         latency: Optional[float] = result.duration_s
         digest = result.ledger_digest
     else:
@@ -701,6 +761,33 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
             }
             for record in result.committees
         ]
+    ingress_classes: list[dict] = []
+    if cell.ingress:
+        # Ingress cells gate on transaction conservation and record the
+        # per-class disposition/latency summary for the artifact.
+        verdicts.append(check_ingress_conservation(result.classes))
+        ingress_classes = [
+            {
+                "name": record.name,
+                "priority": record.priority,
+                "offered": record.offered,
+                "admitted": record.admitted,
+                "shed": record.shed,
+                "deferred_pending": record.deferred_pending,
+                "duplicates": record.duplicates,
+                "committed": record.committed,
+                "p50_latency_s": None
+                if record.p50_latency_s != record.p50_latency_s
+                else round(record.p50_latency_s, 6),
+                "p90_latency_s": None
+                if record.p90_latency_s != record.p90_latency_s
+                else round(record.p90_latency_s, 6),
+                "p99_latency_s": None
+                if record.p99_latency_s != record.p99_latency_s
+                else round(record.p99_latency_s, 6),
+            }
+            for record in result.classes
+        ]
     if pack is not None:
         verdicts.append(check_ledger_continuity(result.per_epoch,
                                                 result.ledger_digest))
@@ -735,7 +822,9 @@ def run_cell(cell: CampaignCell, quick: bool = True) -> CellOutcome:
         invariants=verdicts,
         scenario=cell.scenario,
         phases=phases,
-        committees=committees)
+        committees=committees,
+        ingress=cell.ingress,
+        ingress_classes=ingress_classes)
 
 
 def _run_cell_task(task: tuple) -> CellOutcome:

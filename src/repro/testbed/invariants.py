@@ -407,6 +407,40 @@ def check_scenario_recovery(per_epoch: Sequence[Any],
     return InvariantVerdict("scenario-recovery", True)
 
 
+def check_ingress_conservation(classes: Sequence[Any]) -> InvariantVerdict:
+    """Every ingress class's dispositions conserve its offered transactions.
+
+    ``classes`` is a streaming run's
+    :class:`~repro.testbed.metrics.ClassRecord` list.  Per class: every
+    offered transaction landed in exactly one disposition bucket
+    (``offered == admitted + shed + deferred_pending + duplicates``) and
+    nothing was committed that was never admitted
+    (``committed <= admitted``).  Failing either means the admission gate
+    dropped or double-counted client traffic silently -- exactly what the
+    shed/defer counters exist to rule out.
+    """
+    name = "ingress-conservation"
+    if not classes:
+        return InvariantVerdict(name, False,
+                                "no class records (ingress spec inactive)")
+    for record in classes:
+        accounted = (record.admitted + record.shed
+                     + record.deferred_pending + record.duplicates)
+        if accounted != record.offered:
+            return InvariantVerdict(
+                name, False,
+                f"class {record.name!r}: offered {record.offered} != "
+                f"admitted {record.admitted} + shed {record.shed} + "
+                f"deferred {record.deferred_pending} + duplicates "
+                f"{record.duplicates} (= {accounted})")
+        if record.committed > record.admitted:
+            return InvariantVerdict(
+                name, False,
+                f"class {record.name!r}: committed {record.committed} "
+                f"exceeds admitted {record.admitted}")
+    return InvariantVerdict(name, True)
+
+
 def check_all(observer: RunObserver, decided: bool, expect_decision: bool,
               timeout_s: float,
               affected_domains: Optional[set[Any]] = None) -> list[InvariantVerdict]:

@@ -203,6 +203,36 @@ class PhaseRecord:
 
 
 @dataclass
+class ClassRecord:
+    """Per-transaction-class outcome of an ingress streaming run.
+
+    One record per :class:`~repro.testbed.ingress.TxClassSpec`, aggregated
+    over every gateway.  Dispositions conserve transactions::
+
+        offered == admitted + shed + deferred_pending + duplicates
+
+    (``deferred_pending`` counts transactions still parked in defer queues
+    when the stream ended; released ones are in ``admitted``).  Latency
+    percentiles are **client-observed** submit->commit times in virtual
+    seconds (nearest-rank over every committed transaction of the class,
+    measured from the client's original submission even when the gate
+    deferred it); NaN when the class committed nothing.
+    """
+
+    name: str
+    priority: int
+    offered: int
+    admitted: int
+    shed: int
+    deferred_pending: int
+    duplicates: int
+    committed: int
+    p50_latency_s: float
+    p90_latency_s: float
+    p99_latency_s: float
+
+
+@dataclass
 class StreamingRunResult:
     """Outcome of a multi-epoch streaming (sustained-load) run.
 
@@ -242,6 +272,22 @@ class StreamingRunResult:
     phases: list[PhaseRecord] = field(default_factory=list)
     #: per-epoch committees when a membership schedule was active (else empty)
     committees: list[CommitteeRecord] = field(default_factory=list)
+    #: per-class ingress dispositions + client-observed latency percentiles
+    #: when an ingress spec was active (else empty)
+    classes: list[ClassRecord] = field(default_factory=list)
+
+    def class_record(self, name: str) -> ClassRecord:
+        """The :class:`ClassRecord` of class ``name`` (KeyError if absent)."""
+        for record in self.classes:
+            if record.name == name:
+                return record
+        raise KeyError(f"no ingress class {name!r} in this result; "
+                       f"known: {[record.name for record in self.classes]}")
+
+    @property
+    def shed_total(self) -> int:
+        """Transactions the admission gate shed, summed over classes."""
+        return sum(record.shed for record in self.classes)
 
     @property
     def reconfigurations(self) -> int:

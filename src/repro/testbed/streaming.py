@@ -71,13 +71,16 @@ from repro.testbed.harness import (
     install_epoch_protocols,
     propose_epoch,
 )
+from repro.testbed.ingress import ClassedArrivals, IngressGateway, IngressSpec
 from repro.testbed.invariants import RunObserver
 from repro.testbed.membership import MembershipController, MembershipSchedule
 from repro.testbed.metrics import (
+    ClassRecord,
     CommitteeRecord,
     EpochRecord,
     StreamingRunResult,
     chain_digest,
+    percentile,
 )
 from repro.testbed.scenario_packs import ScenarioController, ScenarioPack
 from repro.testbed.scenarios import Scenario
@@ -244,7 +247,8 @@ class StreamingRun:
                  config: Optional[ConsensusConfig] = None,
                  observer: Optional[RunObserver] = None,
                  pack: Optional[ScenarioPack] = None,
-                 membership: Optional[MembershipSchedule] = None) -> None:
+                 membership: Optional[MembershipSchedule] = None,
+                 ingress: Optional[IngressSpec] = None) -> None:
         self.protocol = protocol
         self.scenario = scenario
         self.spec = spec
@@ -253,6 +257,15 @@ class StreamingRun:
         self.base_config = config or ConsensusConfig()
         self.observer = observer
         self.pack = pack
+        self.ingress = ingress
+        if ingress is not None and scenario.is_multi_hop:
+            # Gateways front the single-hop committee; a multi-hop ingress
+            # would need per-cluster gateway placement and cross-cluster
+            # class routing -- a documented extension point, not a silent
+            # misconfiguration.
+            raise DeploymentError(
+                "ingress gateways front the single-hop committee; "
+                "multi-hop ingress is not supported")
         byzantine = scenario.byzantine
         if (byzantine.nodes_with("epoch-crash")
                 and byzantine.crash_at_epoch >= spec.epochs):
@@ -291,6 +304,14 @@ class StreamingRun:
             schedule = MembershipSchedule.from_churn(
                 scenario.membership, scenario.num_nodes, seed=seed)
         if schedule is not None:
+            if ingress is not None:
+                # Redistributing a departed gateway's pooled transactions
+                # would need their class/fee marks to survive the move; the
+                # drain/admit seam loses them today.
+                raise DeploymentError(
+                    "membership schedules and ingress gateways cannot be "
+                    "combined yet (departed-gateway redistribution would "
+                    "drop class marks)")
             if scenario.is_multi_hop:
                 # Multi-hop reconfiguration would re-elect leaders and
                 # re-route the backbone mid-stream -- the documented
@@ -312,10 +333,26 @@ class StreamingRun:
             base_config=self.base_config, seed=seed,
             batch_session=self.batch_session) if schedule is not None else None
         self.committees: list[CommitteeRecord] = []
-        self.arrivals = OpenLoopArrivals(spec.arrival, scenario.num_nodes,
-                                         seed=seed)
-        self.mempools = {node_id: Mempool(spec.arrival.max_mempool)
-                         for node_id in self.deployment.nodes}
+        if ingress is not None:
+            self.arrivals: Any = ClassedArrivals(
+                ingress, spec.arrival, scenario.num_nodes, seed=seed)
+            #: committed-latency bookkeeping: pooled tx -> (class, submit_s),
+            #: shared by every gateway, popped at checkpoint time
+            self.tx_meta: dict = {}
+            self.gateways = {
+                node_id: IngressGateway(ingress, spec.arrival.max_mempool,
+                                        meta=self.tx_meta)
+                for node_id in self.deployment.nodes}
+            self.mempools = {node_id: gateway.pool
+                             for node_id, gateway in self.gateways.items()}
+            self.class_latencies: list[list] = [
+                [] for _ in ingress.classes]
+            self.class_committed = [0] * len(ingress.classes)
+        else:
+            self.arrivals = OpenLoopArrivals(spec.arrival, scenario.num_nodes,
+                                             seed=seed)
+            self.mempools = {node_id: Mempool(spec.arrival.max_mempool)
+                             for node_id in self.deployment.nodes}
         #: conflicting-batch source for equivocating proposers (per epoch)
         self.workload = TransactionWorkload(
             WorkloadSpec(batch_size=spec.batch_size,
@@ -348,6 +385,15 @@ class StreamingRun:
     # ----------------------------------------------------------- arrival pump
     def _pump(self, node_id: int) -> None:
         """Schedule node ``node_id``'s next arrival as a simulator event."""
+        if self.ingress is not None:
+            when, transaction, class_index, fee = \
+                self.arrivals.next_arrival(node_id)
+            self.deployment.sim.schedule_at(
+                when,
+                lambda: self._arrive_ingress(node_id, transaction,
+                                             class_index, fee),
+                label=f"arrival:{node_id}")
+            return
         when, transaction = self.arrivals.next_arrival(node_id)
         self.deployment.sim.schedule_at(
             when, lambda: self._arrive(node_id, transaction),
@@ -355,6 +401,12 @@ class StreamingRun:
 
     def _arrive(self, node_id: int, transaction: bytes) -> None:
         self.mempools[node_id].admit(transaction)
+        self._pump(node_id)
+
+    def _arrive_ingress(self, node_id: int, transaction: bytes,
+                        class_index: int, fee: float) -> None:
+        self.gateways[node_id].submit(self.deployment.sim.now, transaction,
+                                      class_index, fee)
         self._pump(node_id)
 
     # ------------------------------------------------------------ epoch starts
@@ -587,6 +639,21 @@ class StreamingRun:
         self.ledger_digest = _chain_digest(self.ledger_digest, digest)
         self.committed_transactions += len(committed)
         self.last_decide_s = decide_s
+        if self.ingress is not None:
+            # Client-observed latency: submit (original arrival, even when
+            # the gate deferred it) -> the epoch's decide instant.
+            for transaction in committed:
+                meta = self.tx_meta.pop(transaction, None)
+                if meta is not None:
+                    class_index, submit_s = meta
+                    self.class_latencies[class_index].append(
+                        decide_s - submit_s)
+                    self.class_committed[class_index] += 1
+            # Backlogs just settled (commits + requeues landed): give every
+            # gateway's defer queue a chance to re-offer parked load.
+            now = self.deployment.sim.now
+            for node_id in sorted(self.gateways):
+                self.gateways[node_id].release_deferred(now)
         if self.spec.gc:
             self._release_epoch(epoch)
         self.local_instances.pop(epoch, None)
@@ -649,8 +716,16 @@ class StreamingRun:
             # Warmup: the first `warmup` arrivals of each stream are already
             # buffered when the stream starts (clients queued offline).
             for _ in range(self.spec.warmup):
-                _when, transaction = self.arrivals.next_arrival(node_id)
-                self.mempools[node_id].admit(transaction)
+                if self.ingress is not None:
+                    _when, transaction, class_index, fee = \
+                        self.arrivals.next_arrival(node_id)
+                    # queued while offline: they all present at t=0, so the
+                    # admission gate judges them like any t=0 burst
+                    self.gateways[node_id].submit(0.0, transaction,
+                                                  class_index, fee)
+                else:
+                    _when, transaction = self.arrivals.next_arrival(node_id)
+                    self.mempools[node_id].admit(transaction)
             self._pump(node_id)
         finished = deployment.sim.run_until(self._poll,
                                             timeout=self.scenario.timeout_s)
@@ -686,7 +761,29 @@ class StreamingRun:
             scenario=self.pack.name if self.pack is not None else "",
             phases=self.controller.phase_records(self.records)
             if self.controller is not None else [],
-            committees=self.committees)
+            committees=self.committees,
+            classes=self._class_records())
+
+    def _class_records(self) -> list:
+        if self.ingress is None:
+            return []
+        gateways = [self.gateways[node_id] for node_id in sorted(self.gateways)]
+        records = []
+        for index, spec in enumerate(self.ingress.classes):
+            latencies = self.class_latencies[index]
+            records.append(ClassRecord(
+                name=spec.name, priority=spec.priority,
+                offered=sum(g.offered[index] for g in gateways),
+                admitted=sum(g.admitted[index] for g in gateways),
+                shed=sum(g.shed[index] for g in gateways),
+                deferred_pending=sum(g.deferred_pending(index)
+                                     for g in gateways),
+                duplicates=sum(g.duplicates[index] for g in gateways),
+                committed=self.class_committed[index],
+                p50_latency_s=percentile(latencies, 0.50),
+                p90_latency_s=percentile(latencies, 0.90),
+                p99_latency_s=percentile(latencies, 0.99)))
+        return records
 
 
 def run_streaming_consensus(protocol: str, scenario: Scenario,
@@ -695,7 +792,8 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
                             config: Optional[ConsensusConfig] = None,
                             observer: Optional[RunObserver] = None,
                             pack: Optional[ScenarioPack] = None,
-                            membership: Optional[MembershipSchedule] = None) -> StreamingRunResult:
+                            membership: Optional[MembershipSchedule] = None,
+                            ingress: Optional[IngressSpec] = None) -> StreamingRunResult:
     """Run ``spec.epochs`` back-to-back consensus epochs under open-loop load.
 
     The fifth harness entry point.  Works on single-hop *and* multi-hop
@@ -730,6 +828,18 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
             schedule ``scenario.membership`` would expand to.  The result
             then carries one :class:`~repro.testbed.metrics.CommitteeRecord`
             per epoch in ``committees``.
+        ingress: an optional :class:`~repro.testbed.ingress.IngressSpec`
+            putting a client-facing ingress in front of every node:
+            class-marked aggregated arrivals, a priority mempool per
+            gateway, and an admission gate (single-hop, no membership
+            schedule).  The result then carries one
+            :class:`~repro.testbed.metrics.ClassRecord` per transaction
+            class in ``classes`` (per-class dispositions + client-observed
+            submit->commit latency percentiles).  ``None`` (the default)
+            keeps the plain FIFO path bit-identical to earlier releases;
+            so does the degenerate
+            :meth:`~repro.testbed.ingress.IngressSpec.fifo_equivalent`
+            spec (pinned by ``tests/testbed/test_ingress.py``).
 
     Returns a :class:`~repro.testbed.metrics.StreamingRunResult`; all times
     are virtual seconds and ``throughput_tps`` is committed transactions per
@@ -743,4 +853,4 @@ def run_streaming_consensus(protocol: str, scenario: Scenario,
         raise DeploymentError("streaming needs at least one node")
     return StreamingRun(protocol, scenario, spec, batched=batched, seed=seed,
                         config=config, observer=observer, pack=pack,
-                        membership=membership).run()
+                        membership=membership, ingress=ingress).run()

@@ -129,6 +129,18 @@ class TransactionWorkload:
 # open-loop arrivals (streaming runs)
 # ---------------------------------------------------------------------------
 
+def arrival_gap_rng(seed: int, node_id: int) -> random.Random:
+    """The child RNG of node ``node_id``'s arrival-gap stream.
+
+    Shared by :class:`OpenLoopArrivals` and the ingress layer's
+    ``ClassedArrivals`` so that a degenerate (single-class) ingress
+    configuration consumes the **same** gap stream and reproduces the plain
+    open-loop arrival times byte-for-byte -- the anchor of the ingress
+    differential tests.
+    """
+    return random.Random(zlib.crc32(repr((seed, "arrival", node_id)).encode()))
+
+
 @dataclass(frozen=True)
 class ArrivalSpec:
     """Shape of an open-loop transaction arrival process.
@@ -186,10 +198,8 @@ class OpenLoopArrivals:
             WorkloadSpec(batch_size=1,
                          transaction_bytes=spec.transaction_bytes,
                          flavor=spec.flavor), seed=seed)
-        self._rngs = [
-            random.Random(zlib.crc32(
-                repr((seed, "arrival", node_id)).encode()))
-            for node_id in range(num_nodes)]
+        self._rngs = [arrival_gap_rng(seed, node_id)
+                      for node_id in range(num_nodes)]
         self._clock = [0.0] * num_nodes
         self._index = [0] * num_nodes
 
